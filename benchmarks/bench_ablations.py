@@ -1,0 +1,136 @@
+"""Ablations of the design choices the paper motivates.
+
+* Smoothing slice length (§5.1): shorter slices leave OS noise in the
+  record stream and produce false variance alarms on a healthy machine;
+  the 1000 µs default suppresses them.
+* max-depth instrumentation cut (§4): deeper cuts select more sensors and
+  cost more overhead.
+* Runtime shutoff of too-short sensors (§5.3): bounds per-record analysis
+  work.
+* Probe cost (§4): overhead scales with probe weight — the reason probes
+  must stay tiny.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_uninstrumented, run_vsensor
+from repro.runtime.detector import DetectorConfig
+from repro.sim import MachineConfig
+from repro.workloads import get_workload
+
+
+def machine(**kw):
+    return MachineConfig(n_ranks=16, ranks_per_node=8, **kw)
+
+
+def test_ablation_smoothing_slice(benchmark):
+    """Fine-grained sensors only stop generating jitter alarms once the
+    slice is long enough to average many executions (§5.1).  Uses the FWQ
+    microkernel: ~12 µs per sense, so a 10 µs slice holds one record while
+    a 1000 µs slice averages ~80."""
+    from repro.workloads.micro import fwq_source
+
+    source = fwq_source(iterations=8000, quantum_units=10.0)
+    fwq_machine = MachineConfig(n_ranks=2, ranks_per_node=2)
+
+    def run_with_slice(slice_us):
+        run = run_vsensor(
+            source,
+            fwq_machine,
+            detector=DetectorConfig(slice_us=slice_us, min_duration_us=0.0, threshold=0.8),
+        )
+        return len(run.runtime.events)
+
+    def scenario():
+        return {s: run_with_slice(s) for s in (10.0, 100.0, 1000.0)}
+
+    alarms = once(benchmark, scenario)
+    print("\nablation: smoothing slice vs false alarms on a healthy run (FWQ)")
+    for s, count in alarms.items():
+        print(f"  slice {s:7.0f}us -> {count:5d} variance events")
+    assert alarms[10.0] > alarms[1000.0] * 3, "short slices must be much noisier"
+
+
+def test_ablation_max_depth(benchmark):
+    source = get_workload("BT").source(scale=1)
+
+    def scenario():
+        rows = {}
+        base = run_uninstrumented(source, machine())
+        for depth in (1, 2, 4):
+            run = run_vsensor(source, machine(), max_depth=depth)
+            rows[depth] = (
+                len(run.static.plan.selected),
+                run.sim.total_time / base.total_time - 1.0,
+            )
+        return rows
+
+    rows = once(benchmark, scenario)
+    print("\nablation: max-depth vs sensors and overhead (BT)")
+    for depth, (count, overhead) in rows.items():
+        print(f"  max_depth={depth}: sensors={count:3d} overhead={overhead:7.3%}")
+    # max_depth=1 rejects the coarse per-phase calls (they sit at depth 1
+    # inside the time loop), so selection falls through to the *many small
+    # loops* inside the phase functions: more sensors, more records, more
+    # overhead.  Deeper cuts let the nested-sensor rule pick the coarse
+    # outermost calls instead.
+    assert rows[1][0] > rows[2][0]
+    assert rows[1][1] > rows[2][1]
+    assert all(overhead < 0.04 for _c, overhead in rows.values())
+
+
+def test_ablation_shutoff(benchmark):
+    """Shutoff keeps per-record analysis bounded for too-short sensors."""
+    src = """
+    global int N = 3000;
+    void q() { compute_units(1); }
+    int main() {
+        int i;
+        for (i = 0; i < N; i = i + 1) q();
+        MPI_Barrier();
+        return 0;
+    }
+    """
+
+    def run_with(min_duration):
+        run = run_vsensor(
+            src,
+            machine(),
+            detector=DetectorConfig(min_duration_us=min_duration, shutoff_after=50),
+        )
+        processed = sum(d.records_processed for d in run.runtime.detectors.values())
+        shutoff = run.report.shutoff_sensors
+        return processed, shutoff
+
+    def scenario():
+        return run_with(0.0), run_with(10.0)
+
+    (proc_off, shut_off), (proc_on, shut_on) = once(benchmark, scenario)
+    print(
+        f"\nablation: shutoff off -> processed={proc_off}, sensors shut={shut_off}; "
+        f"on -> processed={proc_on}, sensors shut={shut_on}"
+    )
+    assert shut_off == 0
+    assert shut_on >= 16  # the ~1-unit sensor is shut off on every rank
+    assert proc_on < proc_off / 10
+
+
+def test_ablation_probe_cost(benchmark):
+    source = get_workload("SP").source(scale=1)
+
+    def scenario():
+        out = {}
+        for cost in (0.5, 5.0, 25.0):
+            m = machine(probe_cost=cost)
+            base = run_uninstrumented(source, m)
+            run = run_vsensor(source, m)
+            out[cost] = run.sim.total_time / base.total_time - 1.0
+        return out
+
+    overheads = once(benchmark, scenario)
+    print("\nablation: probe cost vs overhead (SP)")
+    for cost, overhead in overheads.items():
+        print(f"  probe_cost={cost:5.1f} -> overhead {overhead:7.3%}")
+    assert overheads[0.5] < overheads[5.0] < overheads[25.0]
+    assert overheads[0.5] < 0.04

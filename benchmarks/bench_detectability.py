@@ -1,0 +1,57 @@
+"""Detectability sweep: how much slowdown does a fault need to be seen?
+
+Not a paper figure — a characterization the paper implies (its detection
+threshold is a normalized-performance cut at runtime).  We sweep the CPU
+contention factor on one node and score detection against ground truth:
+mild disturbances below the detector threshold stay silent (no false
+alarms either), strong ones are detected with full recall/precision.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_vsensor
+from repro.runtime.quality import score_detection
+from repro.sensors.model import SensorType
+from repro.sim import CpuContention, MachineConfig
+from repro.workloads import get_workload
+
+N_RANKS = 16
+
+
+def test_detectability_sweep(benchmark):
+    source = get_workload("CG").source(scale=2)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=8)
+
+    def scenario():
+        probe = run_vsensor(source, machine)
+        span = probe.sim.total_time
+        results = {}
+        for factor in (0.95, 0.8, 0.5, 0.25):
+            faults = [
+                CpuContention(node_ids=(1,), t0=0.3 * span, t1=0.7 * span, cpu_factor=factor)
+            ]
+            run = run_vsensor(
+                source,
+                machine,
+                faults=faults,
+                window_us=span / 12,
+                batch_period_us=span / 12,
+            )
+            run.report.regions = [
+                r for r in run.report.regions if r.sensor_type is SensorType.COMPUTATION
+            ]
+            results[factor] = score_detection(run.report, faults, machine)
+        return results
+
+    results = once(benchmark, scenario)
+    print("\ndetectability — CPU contention factor vs detection score (threshold 0.7)")
+    for factor, score in results.items():
+        print(f"  cpu_factor={factor:4.2f} (slowdown {1 / factor:4.2f}x): {score.describe()}")
+
+    # A 5% disturbance sits inside noise: silent, and nothing spurious.
+    assert results[0.95].detected == []
+    # Strong disturbances are fully detected with no false regions.
+    for factor in (0.5, 0.25):
+        assert results[factor].recall == 1.0, f"factor {factor}"
+        assert results[factor].precision == 1.0, f"factor {factor}"

@@ -1,0 +1,62 @@
+"""Figure 1: run-to-run execution-time variance of FT on fixed nodes.
+
+The paper submits NPB-FT (1024 procs) repeatedly to the same nodes of
+Tianhe-2 and sees >3x spread between the fastest and slowest run.  We
+submit the FT analogue repeatedly to a fixed simulated cluster whose
+ambient conditions (noise stream, occasional congestion from other jobs)
+change per submission.
+
+Shape to reproduce: large max/min ratio driven by congestion episodes; a
+quiet fabric shows a near-flat series.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.baselines import rerun_study
+from repro.viz.figures import series_to_csv
+from repro.workloads import get_workload
+
+N_RANKS = 16
+SUBMISSIONS = 10
+
+
+def test_fig01_run_to_run_variance(benchmark, out_dir):
+    source = get_workload("FT").source(scale=1)
+
+    def scenario():
+        stormy = rerun_study(
+            source,
+            n_ranks=N_RANKS,
+            submissions=SUBMISSIONS,
+            congestion_probability=0.45,
+            congestion_factor=0.15,
+            ranks_per_node=8,
+        )
+        calm = rerun_study(
+            source,
+            n_ranks=N_RANKS,
+            submissions=SUBMISSIONS,
+            congestion_probability=0.0,
+            ranks_per_node=8,
+        )
+        return stormy, calm
+
+    stormy, calm = once(benchmark, scenario)
+
+    print("\nFig. 1 — FT execution time per job submission (fixed nodes)")
+    print(" submission   time(ms)   [shared system]     time(ms) [quiet system]")
+    for i, (s, c) in enumerate(zip(stormy.times_us, calm.times_us)):
+        bar = "#" * int(40 * s / max(stormy.times_us))
+        print(f"  {i:10d} {s / 1e3:10.1f}   {bar:<42} {c / 1e3:8.1f}")
+    print(f"max/min ratio — shared: {stormy.max_over_min:.2f}x, quiet: {calm.max_over_min:.2f}x")
+    print("(paper: >3x between fastest and slowest run)")
+
+    series_to_csv(
+        f"{out_dir}/fig01_variance.csv",
+        {"shared_us": stormy.as_array(), "quiet_us": calm.as_array()},
+    )
+
+    assert stormy.max_over_min > 2.0, "congested submissions must spread >2x"
+    assert calm.max_over_min < 1.2, "quiet system must be near-flat"
+    assert stormy.max_over_min > 3 * (calm.max_over_min - 1) + 1

@@ -1,0 +1,60 @@
+"""Figure 12: time-slice smoothing filters high-frequency OS noise.
+
+A ~10 µs fixed-work sensor executes back-to-back on a noisy node.  Read at
+10 µs resolution the normalized times look chaotic; averaged over 1000 µs
+slices the curve is smooth.  Shape: the slice-averaged series' relative
+spread is several times smaller than the raw series'.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.baselines import run_fwq_probe
+from repro.sim import MachineConfig
+from repro.viz.figures import series_to_csv
+
+
+def _slice_average(starts, values, slice_us):
+    out = []
+    idx = 0
+    n = len(starts)
+    edge = slice_us
+    bucket = []
+    for s, v in zip(starts, values):
+        if s >= edge:
+            if bucket:
+                out.append(np.mean(bucket))
+            bucket = []
+            edge += slice_us
+        bucket.append(v)
+    if bucket:
+        out.append(np.mean(bucket))
+    return np.asarray(out)
+
+
+def test_fig12_smoothing(benchmark, out_dir):
+    machine = MachineConfig(n_ranks=1, ranks_per_node=1)
+
+    obs = once(benchmark, lambda: run_fwq_probe(machine, iterations=20_000, quantum_units=10.0))
+
+    raw = obs.times / np.median(obs.times)
+    smooth = _slice_average(obs.starts, obs.times, 1000.0)
+    smooth = smooth / np.median(smooth)
+
+    raw_spread = float(np.percentile(raw, 99) / np.percentile(raw, 1))
+    smooth_spread = float(np.percentile(smooth, 99) / np.percentile(smooth, 1))
+    print("\nFig. 12 — normalized sensor time under background noise")
+    print(f"  raw (10us resolution)    p99/p1 spread: {raw_spread:6.3f}  ({len(raw)} samples)")
+    print(f"  smoothed (1000us slices) p99/p1 spread: {smooth_spread:6.3f}  ({len(smooth)} samples)")
+
+    series_to_csv(
+        f"{out_dir}/fig12_smoothing.csv",
+        {"raw_norm": raw[:5000], "smooth_norm": smooth},
+    )
+
+    assert raw_spread > 1.1, "raw series must look noisy"
+    assert smooth_spread < 1.0 + (raw_spread - 1.0) / 2, "smoothing must at least halve the spread"
+    # The smoothed curve stays close to 1.0 throughout (no durable variance
+    # on a healthy machine; the occasional daemon spike survives smoothing
+    # only as a shallow bump).
+    assert float(np.max(np.abs(smooth - 1.0))) < 0.35

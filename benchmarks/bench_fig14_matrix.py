@@ -1,0 +1,51 @@
+"""Figure 14: the performance matrix of a healthy run.
+
+CG with 128 processes: the computation matrix shows near-best performance
+everywhere — scattered light dots from background noise are fine, but no
+durable white block.  The matrix is exported as PGM/CSV the way the
+tool's visualizer would render it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.api import run_vsensor
+from repro.sensors.model import SensorType
+from repro.sim import MachineConfig
+from repro.viz import ascii_heatmap, matrix_to_csv, summarize_matrix, write_pgm
+from repro.workloads import get_workload
+
+N_RANKS = 128
+
+
+def test_fig14_healthy_matrix(benchmark, out_dir):
+    source = get_workload("CG").source(scale=2)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=16)
+
+    run = once(
+        benchmark,
+        lambda: run_vsensor(source, machine, window_us=20_000, batch_period_us=20_000),
+    )
+
+    comp = run.report.matrices[SensorType.COMPUTATION]
+    stats = summarize_matrix(comp)
+    print(f"\nFig. 14 — CG {N_RANKS} ranks, healthy run, {run.sim.total_time / 1e6:.2f}s")
+    print(ascii_heatmap(comp, max_rows=32, max_cols=70))
+    print(
+        f"cells={stats['cells']} mean_perf={stats['mean']:.3f} "
+        f"min_perf={stats['min']:.3f} low_fraction={stats['low_fraction']:.2%}"
+    )
+
+    write_pgm(comp, f"{out_dir}/fig14_matrix.pgm")
+    matrix_to_csv(comp, f"{out_dir}/fig14_matrix.csv", window_us=20_000)
+
+    assert comp.shape[0] == N_RANKS
+    assert stats["mean"] > 0.9, "healthy run must look healthy overall"
+    assert stats["low_fraction"] < 0.05, "at most scattered low dots"
+    # No *durable* variance region (big connected block).
+    big_regions = [
+        r
+        for r in run.report.regions
+        if r.sensor_type is SensorType.COMPUTATION and r.cells >= 8
+    ]
+    assert big_regions == []

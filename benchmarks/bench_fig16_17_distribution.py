@@ -1,0 +1,80 @@
+"""Figures 15-17: sense coverage, duration and interval distributions.
+
+For each workload analogue this collects every sense (one Tick..Tock
+execution) on rank 0 and buckets durations (Fig. 16) and the gaps between
+consecutive senses (Fig. 17) into the paper's bins.
+
+Shapes: most senses are short (fine-grained snippets — hence the need for
+slice aggregation); for most programs no interval exceeds 1 s, so variance
+longer than a second cannot be missed; AMG is the outlier with sparse
+sensing.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_vsensor
+from repro.sim import MachineConfig
+from repro.sim.hooks import RawRecorder
+from repro.viz.figures import (
+    duration_histogram,
+    interval_histogram,
+    intervals_between_senses,
+    sense_stats,
+)
+from repro.workloads import all_workloads
+
+PROGRAMS = ["BT", "CG", "FT", "LU", "SP", "AMG", "LULESH", "RAXML"]
+N_RANKS = 16
+
+
+def collect(name):
+    source = all_workloads()[name].source(scale=2)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=8)
+    recorder = RawRecorder(ranks={0})
+    run = run_vsensor(source, machine, extra_hooks=[recorder])
+    starts = np.array([t0 for _r, _s, t0, _t1, _i in recorder.records])
+    ends = np.array([t1 for _r, _s, _t0, t1, _i in recorder.records])
+    return run, starts, ends
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_fig16_17_row(benchmark, name):
+    run, starts, ends = once(benchmark, lambda: collect(name))
+
+    durations = ends - starts
+    gaps = intervals_between_senses(starts, ends)
+    stats = sense_stats(starts, ends, run.sim.total_time)
+
+    dur_hist = duration_histogram(durations)
+    gap_hist = interval_histogram(gaps)
+    print(
+        f"\nFig. 16/17 [{name:7s}] senses={stats.sense_count:5d} "
+        f"coverage={stats.coverage:7.2%} freq={stats.frequency_mhz:.4f}MHz"
+    )
+    print(f"  durations: {dur_hist}")
+    print(f"  intervals: {gap_hist}")
+
+    assert stats.sense_count > 0
+    # Fig. 16 shape: no sense lasts longer than 1 s.
+    assert dur_hist[">1s"] == 0
+    # Fig. 17 shape: intervals never exceed 1 s at this scale — variance
+    # longer than a second cannot slip between senses.
+    assert gap_hist[">1s"] == 0
+
+
+def test_fig16_17_cross_program_shapes():
+    coverages = {}
+    short_fractions = {}
+    for name in ["CG", "AMG", "BT"]:
+        run, starts, ends = collect(name)
+        stats = sense_stats(starts, ends, run.sim.total_time)
+        coverages[name] = stats.coverage
+        durations = ends - starts
+        short_fractions[name] = float((durations < 10_000).mean())
+    print(f"\ncoverage by program: { {k: f'{v:.1%}' for k, v in coverages.items()} }")
+    # AMG senses the least (adaptive refinement).
+    assert coverages["AMG"] == min(coverages.values())
+    # The bulk of senses are fine-grained (well under 10 ms).
+    assert all(f > 0.5 for f in short_fractions.values())

@@ -1,0 +1,109 @@
+"""Figures 18-20: noise injection — profiler vs vSensor (§6.4).
+
+CG runs with an external noiser stealing CPU from two node groups during
+two separate episodes.  The comparison the paper draws:
+
+* Fig. 18/19 (mpiP): all the profiler shows is the per-rank comp/MPI
+  split; after injection, the *MPI* column grows (noise is absorbed into
+  communication waits) while computation barely moves — the profile
+  misleads toward the network and localizes nothing.
+* Fig. 20 (vSensor): the computation matrix shows two white blocks at
+  exactly the injected node groups and times.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_vsensor
+from repro.baselines import MpiProfiler
+from repro.frontend import parse_source
+from repro.sensors.model import SensorType
+from repro.sim import CpuContention, MachineConfig, Simulator
+from repro.viz import ascii_heatmap, write_pgm
+from repro.workloads import get_workload
+
+N_RANKS = 32
+PER_NODE = 8
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    source = get_workload("CG").source(scale=3)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=PER_NODE)
+
+    clean_profiler = MpiProfiler()
+    Simulator(parse_source(source), machine).run(clean_profiler)
+    clean = clean_profiler.profile()
+    span = max(clean.total_time)
+
+    injections = [
+        CpuContention(node_ids=(1,), t0=0.25 * span, t1=0.45 * span, cpu_factor=0.35),
+        CpuContention(node_ids=(3,), t0=0.60 * span, t1=0.80 * span, cpu_factor=0.35),
+    ]
+    noisy_profiler = MpiProfiler()
+    Simulator(parse_source(source), machine, faults=tuple(injections)).run(noisy_profiler)
+    noisy = noisy_profiler.profile()
+
+    vrun = run_vsensor(
+        source, machine, faults=injections, window_us=span / 16, batch_period_us=span / 16
+    )
+    return clean, noisy, vrun, injections, span
+
+
+def test_fig18_19_profiler_misleads(benchmark, scenario):
+    clean, noisy, _vrun, injections, _span = once(benchmark, lambda: scenario)
+
+    # Ranks on an uninjected node (node 0 = ranks 0-7).
+    witness = range(0, PER_NODE)
+    clean_mpi = np.mean([clean.mpi_time[r] for r in witness])
+    noisy_mpi = np.mean([noisy.mpi_time[r] for r in witness])
+    clean_comp = np.mean([clean.comp_time()[r] for r in witness])
+    noisy_comp = np.mean([noisy.comp_time()[r] for r in witness])
+
+    print("\nFig. 18/19 — mpiP profile, uninjected ranks 0-7 (mean seconds)")
+    print(f"  normal run : comp={clean_comp / 1e6:.3f}s  mpi={clean_mpi / 1e6:.3f}s")
+    print(f"  injected   : comp={noisy_comp / 1e6:.3f}s  mpi={noisy_mpi / 1e6:.3f}s")
+    print("  -> the injected CPU noise surfaces as *MPI* time on other ranks")
+
+    assert noisy_mpi > clean_mpi * 1.3, "MPI time must absorb the injected noise"
+    assert abs(noisy_comp - clean_comp) / clean_comp < 0.15, "computation looks unchanged"
+
+
+def test_fig20_vsensor_localizes(benchmark, scenario, out_dir):
+    _clean, _noisy, vrun, injections, span = once(benchmark, lambda: scenario)
+
+    comp = vrun.report.matrices[SensorType.COMPUTATION]
+    print("\nFig. 20 — vSensor computation matrix (two white blocks):")
+    print(ascii_heatmap(comp, max_rows=32, max_cols=64))
+    write_pgm(comp, f"{out_dir}/fig20_injection.pgm")
+
+    regions = [
+        r
+        for r in vrun.report.regions
+        if r.sensor_type is SensorType.COMPUTATION and r.cells >= 4
+    ]
+    for region in regions:
+        print("  " + region.describe())
+    assert len(regions) == 2, "exactly the two injections must appear"
+
+    regions.sort(key=lambda r: r.t_start_us)
+    first, second = regions
+    # First injection: node 1 = ranks 8-15 at 25-45% of the run.
+    assert (first.rank_lo, first.rank_hi) == (8, 15)
+    assert first.t_start_us >= 0.15 * span and first.t_end_us <= 0.55 * span
+    # Second injection: node 3 = ranks 24-31 at 60-80% of the run.
+    assert (second.rank_lo, second.rank_hi) == (24, 31)
+    assert second.t_start_us >= 0.50 * span and second.t_end_us <= 0.90 * span
+
+
+def test_fig20_no_blocks_without_injection(benchmark):
+    source = get_workload("CG").source(scale=3)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=PER_NODE)
+    vrun = once(benchmark, lambda: run_vsensor(source, machine, window_us=20_000))
+    regions = [
+        r
+        for r in vrun.report.regions
+        if r.sensor_type is SensorType.COMPUTATION and r.cells >= 4
+    ]
+    assert regions == []

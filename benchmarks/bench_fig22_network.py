@@ -1,0 +1,78 @@
+"""Figure 22 + §6.5 network case study.
+
+FT (alltoall-dominated) hit by a fabric-wide congestion episode mid-run.
+Shapes to reproduce:
+
+* the degraded run is several times slower than a normal one (the paper's
+  abnormal run: 78.66 s vs 23.31 s = 3.37x);
+* the network matrix shows a time band of degraded performance touching
+  *all* ranks (a fabric problem, not a node problem);
+* the computation matrix stays clean — vSensor attributes the variance to
+  the network component.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_uninstrumented, run_vsensor
+from repro.sensors.model import SensorType
+from repro.sim import MachineConfig, NetworkDegradation
+from repro.viz import ascii_heatmap, write_pgm
+from repro.workloads import get_workload
+
+N_RANKS = 64
+
+
+def test_fig22_network_degradation(benchmark, out_dir):
+    source = get_workload("FT").source(scale=2)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=8)
+
+    def scenario():
+        baseline = run_uninstrumented(source, machine)
+        span = baseline.total_time
+        episode = NetworkDegradation(t0=0.25 * span, t1=4.0 * span, factor=0.18)
+        degraded = run_uninstrumented(source, machine, faults=[episode])
+        vrun = run_vsensor(
+            source,
+            machine,
+            faults=[episode],
+            window_us=degraded.total_time / 14,
+            batch_period_us=degraded.total_time / 28,
+        )
+        return baseline, degraded, vrun, episode
+
+    baseline, degraded, vrun, episode = once(benchmark, scenario)
+    slowdown = degraded.total_time / baseline.total_time
+    print(
+        f"\nFig. 22 — FT {N_RANKS} ranks: normal {baseline.total_time / 1e3:.1f} ms, "
+        f"congested {degraded.total_time / 1e3:.1f} ms ({slowdown:.2f}x; paper saw 3.37x)"
+    )
+
+    net = vrun.report.matrices[SensorType.NETWORK]
+    comp = vrun.report.matrices[SensorType.COMPUTATION]
+    print("network matrix (light band = congestion):")
+    print(ascii_heatmap(net, max_rows=16, max_cols=64))
+    write_pgm(net, f"{out_dir}/fig22_network.pgm")
+
+    assert 2.0 < slowdown < 6.0, "multi-x slowdown like the paper's 3.37x"
+
+    # The band: in post-onset windows the mean network performance drops
+    # hard; pre-onset windows are healthy.
+    n_windows = net.shape[1]
+    window_means = np.array([np.nanmean(net[:, w]) if np.isfinite(net[:, w]).any() else np.nan for w in range(n_windows)])
+    onset_window = int(episode.t0 // (degraded.total_time / 14))
+    pre = window_means[: max(onset_window, 1)]
+    post = window_means[onset_window + 1 :]
+    post = post[np.isfinite(post)]
+    assert np.nanmean(pre) > 0.75, "healthy before onset"
+    assert post.size and np.nanmean(post) < 0.5, "degraded band after onset"
+
+    # All ranks affected at once: the degraded windows touch every rank.
+    worst_window = int(np.nanargmin(window_means))
+    column = net[:, worst_window]
+    assert (column[np.isfinite(column)] < 0.6).mean() > 0.9
+
+    # Attribution: computation stays clean.
+    comp_finite = comp[np.isfinite(comp)]
+    assert np.median(comp_finite) > 0.9

@@ -1,0 +1,58 @@
+"""IO-component case study (extension beyond the paper's two cases).
+
+The paper defines three sensor components — Computation, Network, IO —
+but only demonstrates the first two in Section 6.  This bench completes
+the triple: a checkpointing stencil (CHKPT analogue) hit by a shared-
+filesystem slowdown mid-run.  Shapes: the IO matrix shows the band
+touching all ranks, computation and network stay clean, and a node-local
+IO fault localizes to that node's ranks.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_vsensor
+from repro.sensors.model import SensorType
+from repro.sim import IoDegradation, MachineConfig
+from repro.viz import ascii_heatmap, write_pgm
+from repro.workloads import get_workload
+
+N_RANKS = 32
+
+
+def test_io_degradation_case(benchmark, out_dir):
+    source = get_workload("CHKPT").source(scale=2)
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=8)
+
+    def scenario():
+        probe = run_vsensor(source, machine)
+        span = probe.sim.total_time
+        episode = IoDegradation(t0=0.35 * span, t1=0.75 * span, factor=0.15)
+        run = run_vsensor(
+            source, machine, faults=[episode], window_us=span / 12, batch_period_us=span / 12
+        )
+        return probe, run, episode, span
+
+    probe, run, episode, span = once(benchmark, scenario)
+
+    io = run.report.matrices[SensorType.IO]
+    comp = run.report.matrices[SensorType.COMPUTATION]
+    print(f"\nIO case — CHKPT {N_RANKS} ranks, filesystem at 15% for 35-75% of the run")
+    print("IO performance matrix (light band = slow filesystem):")
+    print(ascii_heatmap(io, max_rows=16, max_cols=64))
+    write_pgm(io, f"{out_dir}/io_case.pgm")
+
+    regions = [r for r in run.report.regions if r.sensor_type is SensorType.IO]
+    assert regions, "the filesystem slowdown must be detected"
+    big = max(regions, key=lambda r: r.cells)
+    print("largest IO region: " + big.describe())
+    # Fabric-wide (here: FS-wide): every rank affected.
+    assert big.rank_lo == 0 and big.rank_hi == N_RANKS - 1
+    # Attribution: computation stays healthy.
+    assert np.nanmedian(comp) > 0.9
+    # The healthy probe run shows no such region.
+    probe_io_regions = [
+        r for r in probe.report.regions if r.sensor_type is SensorType.IO and r.cells >= 4
+    ]
+    assert probe_io_regions == []

@@ -1,0 +1,57 @@
+"""Scaling behaviour: overhead and data rate vs process count.
+
+The paper's headline: overhead below 4% with up to 16,384 processes, and
+the analysis server's inbound traffic stays small (8 MB/s extrapolated at
+16,384 ranks).  We sweep the rank count on CG and check both properties
+hold flat — the detection pipeline is O(records) per rank and the server
+receives per-slice summaries, so nothing grows superlinearly per rank.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_uninstrumented, run_vsensor
+from repro.sim import MachineConfig
+from repro.workloads import get_workload
+
+RANK_COUNTS = [8, 32, 96]
+
+
+def test_scalability_overhead_and_data_rate(benchmark):
+    source = get_workload("CG").source(scale=1)
+
+    def scenario():
+        rows = {}
+        for n in RANK_COUNTS:
+            machine = MachineConfig(n_ranks=n, ranks_per_node=8)
+            base = run_uninstrumented(source, machine)
+            run = run_vsensor(source, machine)
+            overhead = run.sim.total_time / base.total_time - 1.0
+            rate = run.report.data_rate_kb_per_s()
+            rows[n] = (overhead, rate, run.report.bytes_to_server)
+        return rows
+
+    rows = once(benchmark, scenario)
+    print("\nscalability — CG, overhead and per-process data rate vs ranks")
+    print("  ranks  overhead   KB/s/process   total-KiB")
+    for n, (overhead, rate, total) in rows.items():
+        print(f"  {n:5d}  {overhead:7.2%}   {rate:10.2f}   {total / 1024:9.1f}")
+
+    for n, (overhead, rate, _total) in rows.items():
+        assert overhead < 0.04, f"overhead at {n} ranks"
+
+    # Per-process data rate must stay flat as ranks grow (within 2x),
+    # i.e. total server traffic grows linearly, not worse.
+    rates = [rows[n][1] for n in RANK_COUNTS]
+    assert max(rates) < 2.0 * min(rates)
+
+
+def test_detection_work_scales_linearly():
+    """Per-rank records processed is rank-count independent."""
+    source = get_workload("CG").source(scale=1)
+    per_rank = {}
+    for n in (8, 32):
+        run = run_vsensor(source, MachineConfig(n_ranks=n, ranks_per_node=8))
+        processed = sum(d.records_processed for d in run.runtime.detectors.values())
+        per_rank[n] = processed / n
+    assert per_rank[32] == pytest.approx(per_rank[8], rel=0.05)

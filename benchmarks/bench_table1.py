@@ -1,0 +1,109 @@
+"""Table 1: per-program validation of the whole tool chain.
+
+For each of the eight workload analogues this regenerates every column of
+the paper's Table 1:
+
+* compile-time: source KLoC, snippet candidates, identified v-sensors,
+  instrumented sensors by type;
+* runtime: workload max error (PMU instruction-count spread across
+  executions, sensors and ranks), instrumentation overhead vs the original
+  binary, sense-time coverage, and sense frequency.
+
+Shapes to reproduce: identification filters most candidates; overhead
+stays below the paper's 4% bound; AMG has by far the lowest coverage;
+workload max error stays within PMU measurement error (<5%).
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import run_uninstrumented, run_vsensor
+from repro.sim import MachineConfig
+from repro.sim.hooks import RawRecorder
+from repro.viz.figures import sense_stats
+from repro.workloads import all_workloads
+
+N_RANKS = 32
+PROGRAMS = ["BT", "CG", "FT", "LU", "SP", "AMG", "LULESH", "RAXML"]
+
+
+def machine():
+    return MachineConfig(n_ranks=N_RANKS, ranks_per_node=8)
+
+
+def run_program(name):
+    workload = all_workloads()[name]
+    source = workload.source()
+    base = run_uninstrumented(source, machine())
+    recorder = RawRecorder()
+    run = run_vsensor(source, machine(), extra_hooks=[recorder])
+    return workload, source, base, run, recorder
+
+
+def workload_max_error(records) -> float:
+    """Pm - 1 per the paper: max over ranks of max over sensors of
+    (max/min instruction count per sensor per rank)."""
+    per_key = defaultdict(list)
+    for rank, sensor_id, _t0, _t1, instr in records:
+        per_key[(rank, sensor_id)].append(instr)
+    worst = 1.0
+    for counts in per_key.values():
+        if len(counts) >= 2:
+            worst = max(worst, max(counts) / min(counts))
+    return worst - 1.0
+
+
+def coverage_and_frequency(records, total_time):
+    rank0 = [(t0, t1) for rank, _s, t0, t1, _i in records if rank == 0]
+    if not rank0:
+        return 0.0, 0.0
+    starts = np.array([t0 for t0, _ in rank0])
+    ends = np.array([t1 for _, t1 in rank0])
+    stats = sense_stats(starts, ends, total_time)
+    return stats.coverage, stats.frequency_mhz
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_table1_row(benchmark, name):
+    workload, source, base, run, recorder = once(benchmark, lambda: run_program(name))
+
+    ident = run.static.identification
+    plan = run.static.plan
+    overhead = run.sim.total_time / base.total_time - 1.0
+    err = workload_max_error(recorder.records)
+    coverage, freq = coverage_and_frequency(recorder.records, run.sim.total_time)
+
+    print(
+        f"\nTable 1 [{name:7s}] kloc={workload.kloc():6.3f} "
+        f"snippets={ident.snippet_count:4d} vsensors={ident.sensor_count:4d} "
+        f"instrumented={plan.summary():14s} max_err={err:6.2%} "
+        f"overhead={overhead:6.2%} coverage={coverage:7.2%} freq={freq:.4f}MHz"
+    )
+
+    # Paper shapes.
+    assert ident.sensor_count <= ident.snippet_count
+    assert len(plan.selected) <= ident.sensor_count
+    assert err < 0.05, "workload max error must stay within PMU error (<5%)"
+    assert overhead < 0.04, "instrumentation overhead must stay below 4%"
+    assert coverage > 0.0
+
+
+def test_table1_cross_program_shapes():
+    """Relations the paper's table exhibits across programs."""
+    rows = {}
+    for name in ["CG", "AMG", "BT"]:
+        workload, source, base, run, recorder = run_program(name)
+        coverage, freq = coverage_and_frequency(recorder.records, run.sim.total_time)
+        rows[name] = {
+            "coverage": coverage,
+            "sensors": run.static.identification.sensor_count,
+            "snippets": run.static.identification.snippet_count,
+        }
+    # AMG's adaptive refinement yields the smallest sensor fraction and
+    # the lowest coverage of the three.
+    frac = {n: r["sensors"] / r["snippets"] for n, r in rows.items()}
+    assert frac["AMG"] == min(frac.values())
+    assert rows["AMG"]["coverage"] == min(r["coverage"] for r in rows.values())

@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Each bench module regenerates one table or figure of the paper: it runs
+the scenario (timed under pytest-benchmark with a single round — these are
+simulations, not microbenchmarks), prints the same rows/series the paper
+reports, writes figure data under ``out/``, and asserts the paper's
+*shape* (who wins, roughly by how much, where the crossovers fall).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "out")
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return os.path.abspath(OUT_DIR)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_header():
+    print("\n" + "=" * 72, file=sys.stderr)
+    print("vSensor reproduction benchmarks — paper tables and figures", file=sys.stderr)
+    print("=" * 72, file=sys.stderr)
+    yield
+
+
+def once(benchmark, fn):
+    """Run a heavy scenario exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

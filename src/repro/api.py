@@ -1,0 +1,141 @@
+"""High-level pipeline: the eight workflow steps in one call.
+
+:func:`compile_and_instrument` covers the static module (steps 1–5);
+:func:`run_vsensor` adds the dynamic module (steps 6–8) on the simulated
+cluster and returns everything a study needs: identification results,
+instrumentation plan, simulation outcome, and the variance report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.frontend import Module, parse_source
+from repro.instrument import InstrumentationPlan, InstrumentedProgram, instrument_module, select_sensors
+from repro.runtime.detector import DetectorConfig
+from repro.runtime.dynrules import DynamicRule, NoGrouping
+from repro.runtime.report import VarianceReport
+from repro.runtime.vsensor_hooks import VSensorRuntime
+from repro.sensors import IdentificationResult, identify_vsensors
+from repro.sensors.extern import ExternRegistry
+from repro.sim import Fault, MachineConfig, SimResult, Simulator
+
+
+@dataclass(slots=True)
+class StaticResult:
+    """Outcome of the static module (compile-time steps 1-5)."""
+
+    module: Module
+    identification: IdentificationResult
+    plan: InstrumentationPlan
+    program: InstrumentedProgram
+
+    @property
+    def source(self) -> str:
+        return self.program.source
+
+
+@dataclass(slots=True)
+class VSensorRun:
+    """Outcome of a full vSensor-instrumented simulated run."""
+
+    static: StaticResult
+    sim: SimResult
+    runtime: VSensorRuntime
+    report: VarianceReport = field(default=None)  # type: ignore[assignment]
+
+
+def compile_and_instrument(
+    source: str,
+    max_depth: int = 3,
+    externs: ExternRegistry | None = None,
+    static_rules: Sequence | Iterable = (),
+    filename: str = "<program>",
+    min_estimated_work: float = 0.0,
+    annotations=None,
+) -> StaticResult:
+    """Run the static module on program text.
+
+    ``min_estimated_work`` enables the compile-time granularity estimate
+    (skip sensors predicted smaller than this many work units);
+    ``annotations`` is an optional
+    :class:`~repro.instrument.annotations.Annotations` with manual
+    include/exclude marks.
+    """
+    module = parse_source(source, filename=filename)
+    identification = identify_vsensors(module, externs=externs, static_rules=static_rules)
+    if annotations is not None:
+        from repro.instrument.annotations import apply_annotations
+
+        apply_annotations(identification, annotations)
+    plan = select_sensors(
+        identification, max_depth=max_depth, min_estimated_work=min_estimated_work
+    )
+    program = instrument_module(module, plan.selected)
+    return StaticResult(
+        module=module, identification=identification, plan=plan, program=program
+    )
+
+
+def run_vsensor(
+    source: str,
+    machine: MachineConfig,
+    faults: Sequence[Fault] = (),
+    max_depth: int = 3,
+    detector: DetectorConfig | None = None,
+    rule: DynamicRule | None = None,
+    externs: ExternRegistry | None = None,
+    static_rules: Sequence | Iterable = (),
+    window_us: float = 200_000.0,
+    batch_period_us: float = 100_000.0,
+    extra_hooks: Sequence = (),
+    live=None,
+) -> VSensorRun:
+    """Compile, instrument, simulate and analyze one program.
+
+    ``window_us`` is the performance-matrix time resolution (the paper's
+    matrices use 200 ms); ``batch_period_us`` is how often each rank ships
+    its buffered slice summaries to the analysis server.  ``extra_hooks``
+    are additional observers teed alongside the vSensor runtime (e.g. a
+    raw-record collector for figure data).
+    """
+    from repro.runtime.server import AnalysisServer
+    from repro.sim.hooks import TeeHooks
+
+    static = compile_and_instrument(
+        source, max_depth=max_depth, externs=externs, static_rules=static_rules
+    )
+    runtime = VSensorRuntime(
+        sensors=static.program.sensors,
+        n_ranks=machine.n_ranks,
+        config=detector or DetectorConfig(),
+        rule=rule or NoGrouping(),
+        server=AnalysisServer(
+            n_ranks=machine.n_ranks,
+            window_us=window_us,
+            batch_period_us=batch_period_us,
+        ),
+    )
+    runtime.live = live
+    hooks = TeeHooks(runtime, *extra_hooks) if extra_hooks else runtime
+    sim = Simulator(
+        static.program.module,
+        machine,
+        faults=tuple(faults),
+        sensors=static.program.sensors,
+        externs=externs,
+    ).run(hooks)
+    run = VSensorRun(static=static, sim=sim, runtime=runtime)
+    run.report = runtime.report(sim.total_time)
+    return run
+
+
+def run_uninstrumented(
+    source: str,
+    machine: MachineConfig,
+    faults: Sequence[Fault] = (),
+) -> SimResult:
+    """Simulate the original (probe-free) program — the overhead baseline."""
+    module = parse_source(source)
+    return Simulator(module, machine, faults=tuple(faults)).run()

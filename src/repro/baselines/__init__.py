@@ -1,0 +1,28 @@
+"""Baseline observation tools the paper compares against (§1, §6.4).
+
+* :mod:`repro.baselines.profiler` — an mpiP-like profiler: per-rank split
+  of total time into MPI and computation.  Cannot localize variance in
+  time, and injected CPU noise shows up as *MPI* time (Figs. 18–19).
+* :mod:`repro.baselines.tracer` — an ITAC-like tracer recording every MPI
+  event; accurate but orders of magnitude more data than vSensor (501.5 MB
+  vs 8.8 MB in the paper's run).
+* :mod:`repro.baselines.fwq` — external fixed-work-quanta benchmarking:
+  detects variance but is intrusive when co-run with the application.
+* :mod:`repro.baselines.rerun` — run-to-run comparison (Fig. 1).
+"""
+
+from repro.baselines.profiler import MpiProfile, MpiProfiler
+from repro.baselines.tracer import EventTracer, TraceStats
+from repro.baselines.fwq import FwqObservation, run_fwq_probe
+from repro.baselines.rerun import RerunStudy, rerun_study
+
+__all__ = [
+    "EventTracer",
+    "FwqObservation",
+    "MpiProfile",
+    "MpiProfiler",
+    "RerunStudy",
+    "TraceStats",
+    "rerun_study",
+    "run_fwq_probe",
+]

@@ -1,0 +1,64 @@
+"""mpiP-like profiler baseline.
+
+Accumulates, per rank, the total time spent inside MPI calls; computation
+time is everything else.  This is exactly the information Figs. 18–19 plot
+— and exactly why profiling cannot localize injected noise: the time
+dimension is integrated away, and noise scheduled during communication
+waits inflates the *MPI* column, misleading the user toward the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.hooks import RuntimeHooks
+
+
+@dataclass(slots=True)
+class MpiProfile:
+    """The profiler's end-of-run output."""
+
+    n_ranks: int
+    mpi_time: list[float]
+    total_time: list[float]
+    call_counts: dict[str, int]
+
+    def comp_time(self) -> list[float]:
+        return [t - m for t, m in zip(self.total_time, self.mpi_time)]
+
+    def rows(self) -> list[tuple[int, float, float]]:
+        """(rank, computation seconds, MPI seconds) rows, Fig. 18 style."""
+        return [
+            (rank, (self.total_time[rank] - self.mpi_time[rank]) / 1e6, self.mpi_time[rank] / 1e6)
+            for rank in range(self.n_ranks)
+        ]
+
+
+class MpiProfiler(RuntimeHooks):
+    """Install on a run to collect an mpiP-style profile."""
+
+    def __init__(self) -> None:
+        self._mpi_time: dict[int, float] = {}
+        self._finish: dict[int, float] = {}
+        self._calls: dict[str, int] = {}
+        self._n_ranks = 0
+
+    def on_program_start(self, n_ranks: int) -> None:
+        self._n_ranks = n_ranks
+        self._mpi_time = {r: 0.0 for r in range(n_ranks)}
+        self._finish = {r: 0.0 for r in range(n_ranks)}
+
+    def on_mpi_end(self, rank: int, op: str, t_begin: float, t_end: float, size: float) -> None:
+        self._mpi_time[rank] = self._mpi_time.get(rank, 0.0) + (t_end - t_begin)
+        self._calls[op] = self._calls.get(op, 0) + 1
+
+    def on_program_end(self, rank: int, t: float) -> None:
+        self._finish[rank] = t
+
+    def profile(self) -> MpiProfile:
+        return MpiProfile(
+            n_ranks=self._n_ranks,
+            mpi_time=[self._mpi_time.get(r, 0.0) for r in range(self._n_ranks)],
+            total_time=[self._finish.get(r, 0.0) for r in range(self._n_ranks)],
+            call_counts=dict(self._calls),
+        )

@@ -1,0 +1,83 @@
+"""Run-to-run comparison baseline (the Fig. 1 methodology).
+
+Runs the same program repeatedly on machines whose background conditions
+differ per submission (a fresh noise seed and per-submission congestion
+episodes) and reports the execution-time series — the costly, low-insight
+way of noticing variance that motivates the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frontend import parse_source
+from repro.sim import Fault, MachineConfig, NetworkDegradation, Simulator
+from repro.sim.noise import NoiseConfig
+
+
+@dataclass(slots=True)
+class RerunStudy:
+    times_us: list[float] = field(default_factory=list)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.times_us)
+
+    @property
+    def max_over_min(self) -> float:
+        arr = self.as_array()
+        if arr.size == 0:
+            return 1.0
+        return float(arr.max() / max(arr.min(), 1e-9))
+
+
+def rerun_study(
+    source: str,
+    n_ranks: int,
+    submissions: int = 20,
+    base_seed: int = 7,
+    congestion_probability: float = 0.35,
+    congestion_factor: float = 0.25,
+    ranks_per_node: int = 8,
+) -> RerunStudy:
+    """Submit the job ``submissions`` times on the same (fixed) nodes.
+
+    Each submission sees different ambient conditions: a fresh noise stream
+    and, with ``congestion_probability``, a network-congestion episode of
+    random placement and length — the "background noise ... caused by the
+    system itself or by other jobs" of Fig. 1.
+    """
+    module = parse_source(source)
+    study = RerunStudy()
+    rng = np.random.default_rng(base_seed)
+
+    # Pilot run to learn the job's natural duration so that congestion
+    # episodes land inside the run regardless of program scale.
+    pilot = Simulator(
+        module,
+        MachineConfig(
+            n_ranks=n_ranks,
+            ranks_per_node=ranks_per_node,
+            seed=base_seed,
+            noise=NoiseConfig(),
+        ),
+    ).run()
+    span = max(pilot.total_time, 1.0)
+
+    for submission in range(submissions):
+        machine = MachineConfig(
+            n_ranks=n_ranks,
+            ranks_per_node=ranks_per_node,
+            seed=base_seed * 10_000 + submission,
+            noise=NoiseConfig(),
+        )
+        faults: list[Fault] = []
+        if rng.random() < congestion_probability:
+            t0 = float(rng.uniform(0, 0.6 * span))
+            length = float(rng.uniform(0.2 * span, 2.0 * span))
+            factor = float(rng.uniform(congestion_factor, 0.6))
+            faults.append(NetworkDegradation(t0=t0, t1=t0 + length, factor=factor))
+        result = Simulator(module, machine, faults=tuple(faults)).run()
+        study.times_us.append(result.total_time)
+    return study

@@ -1,0 +1,97 @@
+"""ITAC-like event tracer baseline.
+
+Records every MPI and IO event with timestamps.  The per-event wire size
+mirrors a binary trace format (type, rank, two timestamps, size, peer).
+The point of this baseline is the §6.4 data-volume comparison: full traces
+grow with event count, vSensor's slice summaries grow with wall time —
+two to three orders of magnitude apart at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.hooks import RuntimeHooks
+
+#: bytes per trace event: u8 type + u32 rank + 2×f64 timestamps + f32 size
+#: + u32 peer + u16 op id
+EVENT_BYTES = 31
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    rank: int
+    op: str
+    t_begin: float
+    t_end: float
+    size: float
+
+
+@dataclass(slots=True)
+class TraceStats:
+    events: int
+    bytes: int
+    duration_us: float
+    n_ranks: int
+
+    def mb(self) -> float:
+        return self.bytes / (1024.0 * 1024.0)
+
+    def rate_kb_per_s_per_rank(self) -> float:
+        seconds = self.duration_us / 1e6
+        if seconds <= 0 or self.n_ranks == 0:
+            return 0.0
+        return self.bytes / 1024.0 / seconds / self.n_ranks
+
+
+class EventTracer(RuntimeHooks):
+    """Install on a run to collect a full event trace.
+
+    Like ITAC, the tracer records user-function enter/exit pairs in
+    addition to MPI and IO operations — this is what makes real traces
+    grow to hundreds of megabytes (``trace_functions=False`` restricts to
+    MPI/IO).
+    """
+
+    def __init__(self, keep_events: bool = False, trace_functions: bool = True) -> None:
+        #: keep_events=False counts volume without storing (large runs)
+        self.keep_events = keep_events
+        self.wants_function_events = trace_functions
+        self.events: list[TraceEvent] = []
+        self.event_count = 0
+        self._n_ranks = 0
+        self._max_t = 0.0
+        self._open_calls: dict[tuple[int, str], float] = {}
+
+    def on_program_start(self, n_ranks: int) -> None:
+        self._n_ranks = n_ranks
+
+    def _record(self, rank: int, op: str, t_begin: float, t_end: float, size: float) -> None:
+        self.event_count += 1
+        self._max_t = max(self._max_t, t_end)
+        if self.keep_events:
+            self.events.append(TraceEvent(rank, op, t_begin, t_end, size))
+
+    def on_mpi_end(self, rank: int, op: str, t_begin: float, t_end: float, size: float) -> None:
+        self._record(rank, op, t_begin, t_end, size)
+
+    def on_io(self, rank: int, op: str, t_begin: float, t_end: float, size: float) -> None:
+        self._record(rank, op, t_begin, t_end, size)
+
+    def on_func_enter(self, rank: int, name: str, t: float) -> None:
+        self._open_calls[(rank, name)] = t
+
+    def on_func_exit(self, rank: int, name: str, t: float) -> None:
+        t0 = self._open_calls.pop((rank, name), t)
+        self._record(rank, f"func:{name}", t0, t, 0.0)
+
+    def on_program_end(self, rank: int, t: float) -> None:
+        self._max_t = max(self._max_t, t)
+
+    def stats(self) -> TraceStats:
+        return TraceStats(
+            events=self.event_count,
+            bytes=self.event_count * EVENT_BYTES,
+            duration_us=self._max_t,
+            n_ranks=self._n_ranks,
+        )

@@ -1,0 +1,17 @@
+"""Program call graph: construction, preprocessing, and analysis order.
+
+Implements workflow step 2a (Fig. 10 of the paper): build the call graph,
+remove recursion cycles and calls through function pointers, then
+topologically sort so callees are analyzed before callers (bottom-up).
+"""
+
+from repro.callgraph.graph import CallGraph, CallSite, build_call_graph
+from repro.callgraph.preprocess import PreprocessResult, preprocess_call_graph
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "PreprocessResult",
+    "build_call_graph",
+    "preprocess_call_graph",
+]

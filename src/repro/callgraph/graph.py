@@ -1,0 +1,92 @@
+"""Call-graph construction from the IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import CallInstr
+from repro.ir.irmodule import IRModule
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call instruction with its resolution status."""
+
+    caller: str
+    callee: str
+    instr: CallInstr
+    #: "defined"  — callee has a body in the module
+    #: "extern"   — callee has no body (libc / MPI / unknown)
+    #: "indirect" — call through a function pointer (unresolvable)
+    kind: str
+
+
+@dataclass(slots=True)
+class CallGraph:
+    """The program call graph.
+
+    ``graph`` holds one node per *defined* function; edges carry the list of
+    call sites.  Extern and indirect call sites are kept aside — they do not
+    produce edges but the sensors layer consults them.
+    """
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    extern_sites: list[CallSite] = field(default_factory=list)
+    indirect_sites: list[CallSite] = field(default_factory=list)
+    sites: list[CallSite] = field(default_factory=list)
+
+    def callees_of(self, name: str) -> list[str]:
+        return sorted(self.graph.successors(name)) if name in self.graph else []
+
+    def callers_of(self, name: str) -> list[str]:
+        return sorted(self.graph.predecessors(name)) if name in self.graph else []
+
+    def sites_in(self, caller: str) -> list[CallSite]:
+        return [s for s in self.sites if s.caller == caller]
+
+    def address_taken(self) -> set[str]:
+        """Functions whose address is taken (potential indirect targets)."""
+        return set(self.graph.graph.get("address_taken", set()))
+
+
+def build_call_graph(module: IRModule) -> CallGraph:
+    """Build the call graph of ``module``.
+
+    Every defined function becomes a node even if never called.  Calls to
+    names without a definition are recorded as extern sites; indirect calls
+    (through funcptr variables) are recorded separately — the paper removes
+    them from the graph because their targets cannot be identified at
+    compile time.
+    """
+    cg = CallGraph()
+    address_taken: set[str] = set()
+    for name in module.functions:
+        cg.graph.add_node(name)
+
+    for fn in module.functions.values():
+        for instr in fn.instructions():
+            from repro.ir.instructions import AddrOfInstr
+
+            if isinstance(instr, AddrOfInstr):
+                address_taken.add(instr.func_name)
+            if not isinstance(instr, CallInstr):
+                continue
+            if instr.is_indirect:
+                site = CallSite(caller=fn.name, callee=instr.callee, instr=instr, kind="indirect")
+                cg.indirect_sites.append(site)
+            elif module.has_function(instr.callee):
+                site = CallSite(caller=fn.name, callee=instr.callee, instr=instr, kind="defined")
+                if cg.graph.has_edge(fn.name, instr.callee):
+                    cg.graph.edges[fn.name, instr.callee]["sites"].append(site)
+                else:
+                    cg.graph.add_edge(fn.name, instr.callee, sites=[site])
+            else:
+                site = CallSite(caller=fn.name, callee=instr.callee, instr=instr, kind="extern")
+                cg.extern_sites.append(site)
+            cg.sites.append(site)
+
+    cg.graph.graph["address_taken"] = address_taken
+    return cg

@@ -1,0 +1,71 @@
+"""Call-graph preprocessing (Fig. 10): prune cycles and function pointers,
+then produce the bottom-up analysis order.
+
+Recursive invocations create cycles that prevent a topological sort, so
+every edge participating in a strongly connected component of size > 1 (or a
+self-loop) is removed and the functions involved are marked *recursive*.
+Functions whose address is taken may be reached through pointers the
+analysis cannot see, so they are marked *pointer-targets*.  Both groups are
+treated as never-fixed-workload by the sensors layer (a conservative
+policy: it can miss sensors, never fabricate them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.callgraph.graph import CallGraph
+
+
+@dataclass(slots=True)
+class PreprocessResult:
+    """Pruned graph plus the bottom-up (callee-first) analysis order."""
+
+    pruned: nx.DiGraph
+    order: list[str]
+    recursive_functions: set[str] = field(default_factory=set)
+    pointer_targets: set[str] = field(default_factory=set)
+    removed_edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def never_fixed(self) -> set[str]:
+        """Functions the sensors layer must treat as never-fixed workload."""
+        return self.recursive_functions | self.pointer_targets
+
+
+def preprocess_call_graph(cg: CallGraph) -> PreprocessResult:
+    """Remove cycles and pointer targets; return callee-first order."""
+    pruned = cg.graph.copy()
+    recursive: set[str] = set()
+    removed: list[tuple[str, str]] = []
+
+    # Self-recursion.
+    for name in list(pruned.nodes):
+        if pruned.has_edge(name, name):
+            pruned.remove_edge(name, name)
+            recursive.add(name)
+            removed.append((name, name))
+
+    # Mutual recursion: break every edge inside a non-trivial SCC.
+    for scc in list(nx.strongly_connected_components(pruned)):
+        if len(scc) <= 1:
+            continue
+        recursive |= set(scc)
+        for u in scc:
+            for v in list(pruned.successors(u)):
+                if v in scc:
+                    pruned.remove_edge(u, v)
+                    removed.append((u, v))
+
+    pointer_targets = cg.address_taken()
+
+    # Callee-first order = reverse of a topological order of the call graph.
+    order = list(reversed(list(nx.topological_sort(pruned))))
+    return PreprocessResult(
+        pruned=pruned,
+        order=order,
+        recursive_functions=recursive,
+        pointer_targets=pointer_targets,
+        removed_edges=removed,
+    )

@@ -1,0 +1,21 @@
+"""Control-flow analyses over the IR: CFG orders, dominators, natural loops.
+
+The loop analysis (workflow step 2b) enumerates the natural loops of each
+function; every natural loop carries a back-link to the source-level loop
+statement it was lowered from, which is how snippet candidates are tied to
+source locations.
+"""
+
+from repro.cfa.cfg import postorder, reverse_postorder
+from repro.cfa.dominators import DominatorTree, compute_dominators
+from repro.cfa.loops import LoopInfo, NaturalLoop, find_natural_loops
+
+__all__ = [
+    "DominatorTree",
+    "LoopInfo",
+    "NaturalLoop",
+    "compute_dominators",
+    "find_natural_loops",
+    "postorder",
+    "reverse_postorder",
+]

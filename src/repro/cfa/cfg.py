@@ -1,0 +1,35 @@
+"""CFG traversal orders."""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import IRFunction
+
+
+def postorder(fn: IRFunction) -> list[BasicBlock]:
+    """Depth-first postorder of the CFG starting at the entry block."""
+    visited: set[BasicBlock] = set()
+    order: list[BasicBlock] = []
+
+    # Iterative DFS with an explicit stack of (block, successor-iterator).
+    entry = fn.entry
+    stack: list[tuple[BasicBlock, list[BasicBlock], int]] = [(entry, entry.successors(), 0)]
+    visited.add(entry)
+    while stack:
+        block, succs, idx = stack.pop()
+        while idx < len(succs):
+            succ = succs[idx]
+            idx += 1
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((block, succs, idx))
+                stack.append((succ, succ.successors(), 0))
+                break
+        else:
+            order.append(block)
+    return order
+
+
+def reverse_postorder(fn: IRFunction) -> list[BasicBlock]:
+    """Reverse postorder — the canonical forward-dataflow iteration order."""
+    return list(reversed(postorder(fn)))

@@ -1,0 +1,82 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import IRFunction
+
+from repro.cfa.cfg import reverse_postorder
+
+
+@dataclass(slots=True)
+class DominatorTree:
+    """Immediate-dominator mapping plus convenience queries."""
+
+    idom: dict[BasicBlock, BasicBlock]
+    _rpo_index: dict[BasicBlock, int] = field(default_factory=dict)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexive)."""
+        node: BasicBlock | None = b
+        while node is not None:
+            if node is a:
+                return True
+            parent = self.idom.get(node)
+            node = parent if parent is not node else None
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominators_of(self, block: BasicBlock) -> list[BasicBlock]:
+        """All dominators of ``block``, nearest first (starting at block)."""
+        out = [block]
+        node = block
+        while self.idom.get(node) is not None and self.idom[node] is not node:
+            node = self.idom[node]
+            out.append(node)
+        return out
+
+
+def compute_dominators(fn: IRFunction) -> DominatorTree:
+    """Compute the dominator tree of ``fn``'s CFG.
+
+    Uses the Cooper–Harvey–Kennedy "engineered" iterative algorithm: walk
+    blocks in reverse postorder intersecting predecessor dominator sets via
+    the idom pointers, until a fixed point.
+    """
+    rpo = reverse_postorder(fn)
+    index = {block: i for i, block in enumerate(rpo)}
+    entry = fn.entry
+    idom: dict[BasicBlock, BasicBlock] = {entry: entry}
+
+    def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+        f1, f2 = b1, b2
+        while f1 is not f2:
+            while index[f1] > index[f2]:
+                f1 = idom[f1]
+            while index[f2] > index[f1]:
+                f2 = idom[f2]
+        return f1
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is entry:
+                continue
+            preds = [p for p in block.preds if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(block) is not new_idom:
+                idom[block] = new_idom
+                changed = True
+
+    tree = DominatorTree(idom=idom)
+    tree._rpo_index = index
+    return tree

@@ -1,0 +1,136 @@
+"""Natural-loop detection and the loop nesting forest.
+
+A back edge is a CFG edge ``tail -> header`` where ``header`` dominates
+``tail``; the natural loop of that edge is ``header`` plus every block that
+can reach ``tail`` without passing through ``header``.  Loops sharing a
+header are merged.  Nesting is recovered by block-set containment, giving
+each loop a depth (out-most loop is depth 0, matching the paper's
+``max-depth`` instrumentation parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.ast_nodes import ForStmt, Node, WhileStmt
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import IRFunction
+
+from repro.cfa.dominators import compute_dominators
+
+
+@dataclass(eq=False, slots=True)
+class NaturalLoop:
+    """One natural loop of a function's CFG."""
+
+    header: BasicBlock
+    blocks: set[BasicBlock] = field(default_factory=set)
+    back_edges: list[tuple[BasicBlock, BasicBlock]] = field(default_factory=list)
+    parent: "NaturalLoop | None" = None
+    children: list["NaturalLoop"] = field(default_factory=list)
+    depth: int = 0
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    @property
+    def ast_loop(self) -> Node | None:
+        """The source loop statement this natural loop was lowered from.
+
+        Recovered from the header's terminator back-link; synthetic loops
+        (none are produced by our lowering) would return ``None``.
+        """
+        term = self.header.terminator
+        if term is not None and isinstance(term.ast_node, (ForStmt, WhileStmt)):
+            return term.ast_node
+        # Fall back to any loop-statement link on header instructions.
+        for instr in self.header.instrs:
+            if isinstance(instr.ast_node, (ForStmt, WhileStmt)):
+                return instr.ast_node
+        return None
+
+    def contains_block(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def ancestors(self) -> list["NaturalLoop"]:
+        """Enclosing loops, innermost first (excluding self)."""
+        out: list[NaturalLoop] = []
+        loop = self.parent
+        while loop is not None:
+            out.append(loop)
+            loop = loop.parent
+        return out
+
+
+@dataclass(slots=True)
+class LoopInfo:
+    """All natural loops of one function, with nesting structure."""
+
+    loops: list[NaturalLoop]
+    #: loop headed at each header block
+    by_header: dict[BasicBlock, NaturalLoop]
+
+    def top_level(self) -> list[NaturalLoop]:
+        return [l for l in self.loops if l.parent is None]
+
+    def innermost_containing(self, block: BasicBlock) -> NaturalLoop | None:
+        best: NaturalLoop | None = None
+        for loop in self.loops:
+            if block in loop.blocks and (best is None or loop.depth > best.depth):
+                best = loop
+        return best
+
+    def loop_of_ast(self, node: Node) -> NaturalLoop | None:
+        """Find the natural loop lowered from AST loop ``node``."""
+        for loop in self.loops:
+            if loop.ast_loop is node:
+                return loop
+        return None
+
+
+def find_natural_loops(fn: IRFunction) -> LoopInfo:
+    """Compute the natural loops and nesting forest of ``fn``."""
+    dom = compute_dominators(fn)
+    loops_by_header: dict[BasicBlock, NaturalLoop] = {}
+
+    for block in fn.blocks:
+        for succ in block.successors():
+            if dom.dominates(succ, block):
+                loop = loops_by_header.setdefault(succ, NaturalLoop(header=succ))
+                loop.back_edges.append((block, succ))
+                _collect_loop_body(loop, block)
+
+    loops = list(loops_by_header.values())
+    _build_nesting(loops)
+    return LoopInfo(loops=loops, by_header=loops_by_header)
+
+
+def _collect_loop_body(loop: NaturalLoop, tail: BasicBlock) -> None:
+    """Add all blocks reaching ``tail`` without passing through the header."""
+    loop.blocks.add(loop.header)
+    stack = [tail]
+    while stack:
+        block = stack.pop()
+        if block in loop.blocks:
+            continue
+        loop.blocks.add(block)
+        stack.extend(block.preds)
+
+
+def _build_nesting(loops: list[NaturalLoop]) -> None:
+    """Derive parent/children/depth from block-set containment."""
+    # Sort by size so a loop's parent is the smallest strict superset.
+    loops.sort(key=lambda l: len(l.blocks))
+    for i, inner in enumerate(loops):
+        for outer in loops[i + 1 :]:
+            if inner is not outer and inner.header in outer.blocks and inner.blocks <= outer.blocks:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+    for loop in loops:
+        depth = 0
+        node = loop.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        loop.depth = depth

@@ -1,0 +1,220 @@
+"""Command-line driver: the tool chain as a usable tool.
+
+Subcommands mirror the workflow steps::
+
+    python -m repro identify  prog.vsn            # steps 1-2: list v-sensors
+    python -m repro instrument prog.vsn           # steps 3-5: emit modified source
+    python -m repro run prog.vsn --ranks 32 ...   # steps 6-8: simulate + report
+    python -m repro workloads                     # list the bundled analogues
+
+``run`` accepts fault injections in a compact syntax::
+
+    --fault slowmem:NODE[:FACTOR]
+    --fault badnode:NODE[:FACTOR]
+    --fault contention:NODE[,NODE...]:T0_MS:T1_MS[:FACTOR]
+    --fault netdeg:T0_MS:T1_MS[:FACTOR]
+
+and either a source file or ``--workload NAME`` for a bundled analogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.api import compile_and_instrument, run_vsensor
+from repro.errors import ReproError
+from repro.sensors.model import SensorType
+from repro.sim import (
+    BadNode,
+    CpuContention,
+    Fault,
+    IoDegradation,
+    MachineConfig,
+    NetworkDegradation,
+    SlowMemoryNode,
+)
+from repro.viz import ascii_heatmap, matrix_to_csv, write_pgm
+
+
+def _load_source(args) -> str:
+    if getattr(args, "workload", None):
+        from repro.workloads import get_workload
+
+        return get_workload(args.workload).source(scale=getattr(args, "scale", 1) or 1)
+    if not args.program:
+        raise ReproError("give a program file or --workload NAME")
+    with open(args.program, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def parse_fault(spec: str) -> Fault:
+    """Parse one ``--fault`` specification (times in milliseconds)."""
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    try:
+        if kind == "slowmem":
+            node = int(parts[1])
+            factor = float(parts[2]) if len(parts) > 2 else 0.55
+            return SlowMemoryNode(node_id=node, mem_factor=factor)
+        if kind == "badnode":
+            node = int(parts[1])
+            factor = float(parts[2]) if len(parts) > 2 else 0.6
+            return BadNode(node_id=node, cpu_factor=factor, mem_factor=factor)
+        if kind == "contention":
+            nodes = tuple(int(n) for n in parts[1].split(","))
+            t0, t1 = float(parts[2]) * 1000.0, float(parts[3]) * 1000.0
+            factor = float(parts[4]) if len(parts) > 4 else 0.5
+            return CpuContention(node_ids=nodes, t0=t0, t1=t1, cpu_factor=factor)
+        if kind == "netdeg":
+            t0, t1 = float(parts[1]) * 1000.0, float(parts[2]) * 1000.0
+            factor = float(parts[3]) if len(parts) > 3 else 0.3
+            return NetworkDegradation(t0=t0, t1=t1, factor=factor)
+        if kind == "iodeg":
+            t0, t1 = float(parts[1]) * 1000.0, float(parts[2]) * 1000.0
+            factor = float(parts[3]) if len(parts) > 3 else 0.3
+            return IoDegradation(t0=t0, t1=t1, factor=factor)
+    except (IndexError, ValueError) as exc:
+        raise ReproError(f"bad fault spec {spec!r}: {exc}") from exc
+    raise ReproError(
+        f"unknown fault kind {kind!r} (slowmem|badnode|contention|netdeg|iodeg)"
+    )
+
+
+def cmd_identify(args) -> int:
+    source = _load_source(args)
+    static = compile_and_instrument(
+        source, max_depth=args.max_depth, filename=args.program or args.workload
+    )
+    ident = static.identification
+    print(f"snippet candidates : {ident.snippet_count}")
+    print(f"identified sensors : {ident.sensor_count}")
+    print(f"selected           : {static.plan.summary()}")
+    for sensor in ident.sensors:
+        marker = "*" if sensor.selected else " "
+        print(f" {marker} {sensor.describe()}")
+    print("(* = selected for instrumentation)")
+    if args.explain:
+        print("\nrejected snippets:")
+        for snippet, reason in ident.rejections:
+            print(f"   {snippet.spelled} @ {snippet.function}:{snippet.loc.line} — {reason}")
+    return 0
+
+
+def cmd_instrument(args) -> int:
+    source = _load_source(args)
+    static = compile_and_instrument(source, max_depth=args.max_depth)
+    out = args.output
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(static.source)
+        print(f"instrumented {len(static.plan.selected)} sensor(s) -> {out}")
+    else:
+        sys.stdout.write(static.source)
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = _load_source(args)
+    machine = MachineConfig(
+        n_ranks=args.ranks,
+        ranks_per_node=args.ranks_per_node,
+        seed=args.seed,
+    )
+    faults = [parse_fault(spec) for spec in args.fault or []]
+    run = run_vsensor(
+        source,
+        machine,
+        faults=faults,
+        max_depth=args.max_depth,
+        window_us=args.window_ms * 1000.0,
+    )
+    print(f"instrumented : {run.static.plan.summary()}")
+    print(f"total time   : {run.sim.total_time / 1e3:.2f} ms")
+    print(run.report.summary())
+    for sensor_type in SensorType:
+        matrix = run.report.matrices.get(sensor_type)
+        if matrix is None:
+            continue
+        print(f"\n{sensor_type.value} performance matrix (light = slow):")
+        print(ascii_heatmap(matrix, max_rows=args.matrix_rows, max_cols=args.matrix_cols))
+        suspects = run.report.suspect_ranks(sensor_type, threshold=0.9)
+        if suspects:
+            print(f"persistently slow ranks: {suspects}")
+        if args.export:
+            base = f"{args.export}_{sensor_type.value.lower()}"
+            write_pgm(matrix, base + ".pgm")
+            matrix_to_csv(matrix, base + ".csv", window_us=args.window_ms * 1000.0)
+            print(f"exported {base}.pgm / .csv")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import all_workloads
+
+    for name, workload in sorted(all_workloads().items()):
+        print(f"{name:8s} {workload.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vSensor reproduction: identify, instrument and run programs "
+        "with online performance-variance detection on a simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_args(p):
+        p.add_argument("program", nargs="?", help="mini-language source file")
+        p.add_argument("--workload", help="bundled analogue (BT/CG/FT/LU/SP/AMG/LULESH/RAXML/FWQ)")
+        p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+        p.add_argument("--max-depth", type=int, default=3, help="instrumentation depth cut")
+
+    p_identify = sub.add_parser("identify", help="list identified v-sensors")
+    add_program_args(p_identify)
+    p_identify.add_argument(
+        "--explain", action="store_true", help="also list rejected snippets with reasons"
+    )
+    p_identify.set_defaults(func=cmd_identify)
+
+    p_instr = sub.add_parser("instrument", help="emit Tick/Tock-instrumented source")
+    add_program_args(p_instr)
+    p_instr.add_argument("-o", "--output", help="write instrumented source here (default stdout)")
+    p_instr.set_defaults(func=cmd_instrument)
+
+    p_run = sub.add_parser("run", help="simulate a run with online detection")
+    add_program_args(p_run)
+    p_run.add_argument("--ranks", type=int, default=32)
+    p_run.add_argument("--ranks-per-node", type=int, default=8)
+    p_run.add_argument("--seed", type=int, default=20180224)
+    p_run.add_argument("--window-ms", type=float, default=20.0, help="matrix window (ms)")
+    p_run.add_argument("--fault", action="append", help="inject a fault (see --help epilog)")
+    p_run.add_argument("--export", help="path stem for PGM/CSV matrix export")
+    p_run.add_argument("--matrix-rows", type=int, default=32)
+    p_run.add_argument("--matrix-cols", type=int, default=70)
+    p_run.set_defaults(func=cmd_run)
+
+    p_wl = sub.add_parser("workloads", help="list bundled workload analogues")
+    p_wl.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

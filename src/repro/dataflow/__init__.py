@@ -1,0 +1,17 @@
+"""Dataflow analyses: reaching definitions and use-define chains.
+
+These are the compiler primitives the paper's dependency-propagation
+algorithm is built on ("The dependency between variables is analyzed using a
+compiler technique — use-define chain analysis", §3.2).
+"""
+
+from repro.dataflow.reaching import Definition, ReachingDefinitions, compute_reaching_definitions
+from repro.dataflow.usedef import UseDefChains, build_use_def_chains
+
+__all__ = [
+    "Definition",
+    "ReachingDefinitions",
+    "UseDefChains",
+    "build_use_def_chains",
+    "compute_reaching_definitions",
+]

@@ -1,0 +1,58 @@
+"""Use-define chains layered over reaching definitions.
+
+Two kinds of chains exist in this IR:
+
+* **Register chains** are trivial: each virtual register has exactly one
+  defining instruction (``reg_def``).
+* **Memory chains** link each ``Load``/``LoadElem`` to the set of
+  definitions of that variable reaching the load (``defs_for_load``).
+
+The sensors layer walks these chains backwards to slice out the inputs that
+determine a snippet's quantity of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dataflow.reaching import Definition, ReachingDefinitions, compute_reaching_definitions
+from repro.ir.function import IRFunction
+from repro.ir.instructions import CallInstr, Instr, Load, LoadElem, Reg
+
+
+@dataclass(slots=True)
+class UseDefChains:
+    """Use-def query interface for one function."""
+
+    fn: IRFunction
+    reaching: ReachingDefinitions
+    reg_def: dict[Reg, Instr]
+
+    def def_of_reg(self, reg: Reg) -> Instr:
+        """The unique instruction that writes ``reg``."""
+        return self.reg_def[reg]
+
+    def defs_for_load(self, load: Load | LoadElem) -> list[Definition]:
+        """Definitions reaching a scalar or array load."""
+        var = load.var if isinstance(load, Load) else load.arr
+        return self.reaching.reaching_before(load, var)
+
+    def defs_before(self, instr: Instr, var: str) -> list[Definition]:
+        """Definitions of ``var`` reaching immediately before ``instr``."""
+        return self.reaching.reaching_before(instr, var)
+
+
+def build_use_def_chains(
+    fn: IRFunction,
+    global_names: set[str],
+    call_mod_sets: Callable[[CallInstr], set[str]] | None = None,
+) -> UseDefChains:
+    """Build chains for ``fn`` (solving reaching definitions first)."""
+    reaching = compute_reaching_definitions(fn, global_names, call_mod_sets)
+    reg_def: dict[Reg, Instr] = {}
+    for instr in fn.instructions():
+        dst = instr.dst
+        if dst is not None:
+            reg_def[dst] = instr
+    return UseDefChains(fn=fn, reaching=reaching, reg_def=reg_def)

@@ -1,0 +1,186 @@
+"""Hand-written lexer for the mini C-like language."""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.frontend.location import SourceLoc
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR_OPS: dict[str, TokenKind] = {
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+    "&": TokenKind.AMP,
+}
+
+
+class _Cursor:
+    """Tracks position, line and column while scanning the source text."""
+
+    __slots__ = ("text", "pos", "line", "col", "filename")
+
+    def __init__(self, text: str, filename: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.filename = filename
+
+    def peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos >= len(self.text):
+                return
+            if self.text[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def loc(self) -> SourceLoc:
+        return SourceLoc(self.line, self.col, self.filename)
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Tokenize ``source`` into a list of tokens terminated by an EOF token.
+
+    Raises :class:`~repro.errors.LexError` on the first unrecognized
+    character.  Line comments (``// ...``) and block comments (``/* ... */``)
+    are skipped; block comments may span lines but must be closed.
+    """
+    cur = _Cursor(source, filename)
+    tokens: list[Token] = []
+    while True:
+        _skip_trivia(cur)
+        if cur.at_end:
+            tokens.append(Token(TokenKind.EOF, "", cur.loc()))
+            return tokens
+        tokens.append(_next_token(cur))
+
+
+def _skip_trivia(cur: _Cursor) -> None:
+    """Skip whitespace and comments."""
+    while not cur.at_end:
+        ch = cur.peek()
+        if ch in " \t\r\n":
+            cur.advance()
+        elif ch == "/" and cur.peek(1) == "/":
+            while not cur.at_end and cur.peek() != "\n":
+                cur.advance()
+        elif ch == "/" and cur.peek(1) == "*":
+            open_loc = cur.loc()
+            cur.advance(2)
+            while not (cur.peek() == "*" and cur.peek(1) == "/"):
+                if cur.at_end:
+                    raise LexError("unterminated block comment", open_loc.line, open_loc.col)
+                cur.advance()
+            cur.advance(2)
+        else:
+            return
+
+
+def _next_token(cur: _Cursor) -> Token:
+    loc = cur.loc()
+    ch = cur.peek()
+
+    if ch.isdigit() or (ch == "." and cur.peek(1).isdigit()):
+        return _lex_number(cur, loc)
+    if ch.isalpha() or ch == "_":
+        return _lex_ident(cur, loc)
+    if ch == '"':
+        return _lex_string(cur, loc)
+
+    two = ch + cur.peek(1)
+    if two in _TWO_CHAR_OPS:
+        cur.advance(2)
+        return Token(_TWO_CHAR_OPS[two], two, loc)
+    if ch in _ONE_CHAR_OPS:
+        cur.advance()
+        return Token(_ONE_CHAR_OPS[ch], ch, loc)
+
+    raise LexError(f"unexpected character {ch!r}", loc.line, loc.col)
+
+
+def _lex_number(cur: _Cursor, loc: SourceLoc) -> Token:
+    start = cur.pos
+    is_float = False
+    while cur.peek().isdigit():
+        cur.advance()
+    if cur.peek() == "." and cur.peek(1).isdigit():
+        is_float = True
+        cur.advance()
+        while cur.peek().isdigit():
+            cur.advance()
+    if cur.peek() in "eE" and (cur.peek(1).isdigit() or (cur.peek(1) in "+-" and cur.peek(2).isdigit())):
+        is_float = True
+        cur.advance()
+        if cur.peek() in "+-":
+            cur.advance()
+        while cur.peek().isdigit():
+            cur.advance()
+    text = cur.text[start : cur.pos]
+    kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+    return Token(kind, text, loc)
+
+
+def _lex_ident(cur: _Cursor, loc: SourceLoc) -> Token:
+    start = cur.pos
+    while cur.peek().isalnum() or cur.peek() == "_":
+        cur.advance()
+    text = cur.text[start : cur.pos]
+    kind = KEYWORDS.get(text, TokenKind.IDENT)
+    return Token(kind, text, loc)
+
+
+def _lex_string(cur: _Cursor, loc: SourceLoc) -> Token:
+    cur.advance()  # opening quote
+    chars: list[str] = []
+    while True:
+        if cur.at_end or cur.peek() == "\n":
+            raise LexError("unterminated string literal", loc.line, loc.col)
+        ch = cur.peek()
+        if ch == '"':
+            cur.advance()
+            return Token(TokenKind.STRING_LIT, "".join(chars), loc)
+        if ch == "\\":
+            cur.advance()
+            esc = cur.peek()
+            mapped = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc)
+            if mapped is None:
+                raise LexError(f"bad escape \\{esc}", cur.line, cur.col)
+            chars.append(mapped)
+            cur.advance()
+        else:
+            chars.append(ch)
+            cur.advance()

@@ -1,0 +1,150 @@
+"""Pretty-printer: AST back to source text.
+
+Used by the instrumenter to emit the *modified source* (workflow step 4→5):
+after Tick/Tock calls are spliced into the AST, :func:`format_module`
+regenerates compilable source text.  The printer round-trips: parsing its
+output yields a structurally identical module (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as A
+
+_INDENT = "    "
+
+
+def format_module(mod: A.Module) -> str:
+    """Render a module as source text."""
+    parts: list[str] = []
+    for gv in mod.globals:
+        parts.append(_format_global(gv))
+    if mod.globals and mod.functions:
+        parts.append("")
+    for idx, fn in enumerate(mod.functions):
+        if idx:
+            parts.append("")
+        parts.append(format_function(fn))
+    return "\n".join(parts) + "\n"
+
+
+def _format_global(gv: A.GlobalVar) -> str:
+    decl = f"global {gv.var_type} {gv.name}"
+    if gv.array_size is not None:
+        decl += f"[{gv.array_size}]"
+    if gv.init is not None:
+        decl += f" = {format_expr(gv.init)}"
+    return decl + ";"
+
+
+def format_function(fn: A.FunctionDef) -> str:
+    params = ", ".join(f"{p.var_type} {p.name}" for p in fn.params)
+    header = f"{fn.ret_type} {fn.name}({params})"
+    body = _format_block(fn.body, 0) if fn.body is not None else "{\n}"
+    return f"{header} {body}"
+
+
+def _format_block(block: A.Block, depth: int) -> str:
+    inner = _INDENT * (depth + 1)
+    lines = ["{"]
+    for stmt in block.stmts:
+        rendered = format_stmt(stmt, depth + 1).splitlines()
+        # Only the first line needs the block indent; continuation lines of
+        # nested constructs already carry absolute indentation.
+        for i, line in enumerate(rendered):
+            lines.append(inner + line if i == 0 else line)
+    lines.append(_INDENT * depth + "}")
+    return "\n".join(lines)
+
+
+def format_stmt(stmt: A.Stmt, depth: int = 0) -> str:
+    """Render one statement (without leading indent on the first line)."""
+    if isinstance(stmt, A.Block):
+        return _format_block(stmt, depth)
+    if isinstance(stmt, A.VarDecl):
+        decl = f"{stmt.var_type} {stmt.name}"
+        if stmt.array_size is not None:
+            decl += f"[{stmt.array_size}]"
+        if stmt.init is not None:
+            decl += f" = {format_expr(stmt.init)}"
+        return decl + ";"
+    if isinstance(stmt, A.Assign):
+        return f"{format_expr(stmt.target)} = {format_expr(stmt.value)};"
+    if isinstance(stmt, A.IfStmt):
+        text = f"if ({format_expr(stmt.cond)}) {_format_block(stmt.then_body, depth)}"
+        if stmt.else_body is not None:
+            text += f" else {_format_block(stmt.else_body, depth)}"
+        return text
+    if isinstance(stmt, A.ForStmt):
+        init = _format_inline(stmt.init)
+        cond = format_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _format_inline(stmt.step)
+        return f"for ({init}; {cond}; {step}) {_format_block(stmt.body, depth)}"
+    if isinstance(stmt, A.WhileStmt):
+        return f"while ({format_expr(stmt.cond)}) {_format_block(stmt.body, depth)}"
+    if isinstance(stmt, A.ReturnStmt):
+        if stmt.value is None:
+            return "return;"
+        return f"return {format_expr(stmt.value)};"
+    if isinstance(stmt, A.BreakStmt):
+        return "break;"
+    if isinstance(stmt, A.ContinueStmt):
+        return "continue;"
+    if isinstance(stmt, A.ExprStmt):
+        return f"{format_expr(stmt.expr)};"
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _format_inline(stmt: A.Stmt | None) -> str:
+    """Render a for-header init/step statement without its trailing ';'."""
+    if stmt is None:
+        return ""
+    text = format_stmt(stmt, 0)
+    return text[:-1] if text.endswith(";") else text
+
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def format_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render one expression, adding parentheses only where needed."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(expr, A.StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, A.VarRef):
+        return expr.name
+    if isinstance(expr, A.ArrayRef):
+        return f"{expr.name}[{format_expr(expr.index)}]"
+    if isinstance(expr, A.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        right = format_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, A.UnaryOp):
+        inner = format_expr(expr.operand, 7)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, A.CallExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, A.AddrOf):
+        return f"&{expr.func_name}"
+    raise TypeError(f"unknown expression {type(expr).__name__}")

@@ -1,0 +1,91 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.frontend.location import SourceLoc
+
+
+class TokenKind(enum.Enum):
+    """All lexical categories of the mini language."""
+
+    # Literals / identifiers
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    STRING_LIT = "string_lit"
+    IDENT = "ident"
+
+    # Keywords
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_FUNCPTR = "funcptr"
+    KW_GLOBAL = "global"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_FOR = "for"
+    KW_WHILE = "while"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+
+    # Operators
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    AMP = "&"
+
+    EOF = "eof"
+
+
+#: Reserved words mapped to their token kinds.
+KEYWORDS: dict[str, TokenKind] = {
+    "int": TokenKind.KW_INT,
+    "float": TokenKind.KW_FLOAT,
+    "void": TokenKind.KW_VOID,
+    "funcptr": TokenKind.KW_FUNCPTR,
+    "global": TokenKind.KW_GLOBAL,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexed token with its spelling and location."""
+
+    kind: TokenKind
+    text: str
+    loc: SourceLoc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.loc})"

@@ -1,0 +1,20 @@
+"""Instrumentation (workflow step 4, §4).
+
+Selection applies the paper's three rules — scope (only global v-sensors),
+granularity (``max_depth``), and nested-sensor exclusion (prefer the
+outermost) — then the rewriter splices ``vs_tick(id)`` / ``vs_tock(id)``
+probe calls around each selected snippet and can emit the modified source
+text (step 5 compiles that text with the program's original compiler; here
+the simulator interprets the instrumented AST directly and the emitted text
+round-trips through the parser).
+"""
+
+from repro.instrument.select import InstrumentationPlan, select_sensors
+from repro.instrument.rewrite import InstrumentedProgram, instrument_module
+
+__all__ = [
+    "InstrumentationPlan",
+    "InstrumentedProgram",
+    "instrument_module",
+    "select_sensors",
+]

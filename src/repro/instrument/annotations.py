@@ -1,0 +1,116 @@
+"""Developer annotations: manual include/exclude of snippets (§3.1).
+
+The paper notes that developers understand program semantics best and
+could annotate fixed-workload snippets by hand — automation exists because
+manual annotation does not scale, not because it is unwelcome.  This
+module provides the manual path:
+
+* ``exclude`` vetoes an identified sensor (e.g. the developer knows a
+  "fixed" loop's cache behaviour is bimodal and prefers silence);
+* ``include`` asserts that a snippet the analysis rejected *is* fixed
+  workload (e.g. fixedness depends on an input file the compiler cannot
+  see) and instruments it; the assertion is the developer's to keep.
+
+Snippets are addressed by (function name, source line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import ast_nodes as A
+from repro.ir.instructions import CallInstr
+from repro.sensors.identify import IdentificationResult
+from repro.sensors.model import SensorType, Snippet, VSensor
+
+
+@dataclass(frozen=True, slots=True)
+class SnippetRef:
+    """Addresses one snippet in source terms."""
+
+    function: str
+    line: int
+
+
+@dataclass(slots=True)
+class Annotations:
+    """A set of manual include/exclude marks."""
+
+    include: list[SnippetRef] = field(default_factory=list)
+    exclude: list[SnippetRef] = field(default_factory=list)
+
+    def is_excluded(self, sensor: VSensor) -> bool:
+        return any(
+            ref.function == sensor.function and ref.line == sensor.loc.line
+            for ref in self.exclude
+        )
+
+    def forced_sensors(self, result: IdentificationResult) -> list[VSensor]:
+        """Build sensors for force-included snippets the analysis rejected."""
+        already = {(s.function, s.loc.line) for s in result.sensors}
+        forced: list[VSensor] = []
+        for ref in self.include:
+            if (ref.function, ref.line) in already:
+                continue
+            snippet = _find_snippet(result, ref)
+            if snippet is None:
+                continue
+            forced.append(
+                VSensor(
+                    snippet=snippet,
+                    sensor_type=_classify(result, snippet),
+                    scope_loops=list(snippet.enclosing_loops),
+                    is_function_scope=True,
+                    is_global=True,  # the developer asserts program-wide fixedness
+                    rank_invariant=True,
+                )
+            )
+        return forced
+
+
+def _find_snippet(result: IdentificationResult, ref: SnippetRef) -> Snippet | None:
+    for snippet in result.snippets:
+        if snippet.function == ref.function and snippet.loc.line == ref.line:
+            return snippet
+    return None
+
+
+def _classify(result: IdentificationResult, snippet: Snippet) -> SensorType:
+    """Same classification the identifier uses (net > io > comp)."""
+    fn = result.ir.functions.get(snippet.function)
+    if fn is None:
+        return SensorType.COMPUTATION
+    from repro.sensors.asttools import subtree_ids
+
+    sub = subtree_ids(snippet.node)
+    has_net = has_io = False
+    for instr in fn.instructions():
+        node = instr.ast_node
+        if node is None or node.node_id not in sub:
+            continue
+        if not isinstance(instr, CallInstr) or instr.is_indirect:
+            continue
+        model = result.summaries.extern_model(instr.callee)
+        if model is not None:
+            has_net |= model.category == "net"
+            has_io |= model.category == "io"
+            continue
+        summary = result.summaries.summaries.get(instr.callee)
+        if summary is not None:
+            has_net |= summary.contains_net
+            has_io |= summary.contains_io
+    if has_net:
+        return SensorType.NETWORK
+    if has_io:
+        return SensorType.IO
+    return SensorType.COMPUTATION
+
+
+def apply_annotations(
+    result: IdentificationResult, annotations: Annotations
+) -> IdentificationResult:
+    """Return ``result`` with manual marks applied (mutates the lists)."""
+    kept = [s for s in result.sensors if not annotations.is_excluded(s)]
+    kept.extend(annotations.forced_sensors(result))
+    result.sensors = kept
+    return result

@@ -1,0 +1,119 @@
+"""Tick/Tock splicing (workflow step 4) and modified-source emission (step 5).
+
+The rewriter mutates the parsed AST in place, inserting ``vs_tick(id)``
+before and ``vs_tock(id)`` after the statement that carries each selected
+snippet.  Node identity is preserved, so sensor ids remain valid and the
+instrumented AST can be fed straight to the simulator; the emitted source
+text round-trips through the parser for the "compile with the original
+compiler" path.
+
+Snippets whose carrier statement does not sit directly inside a block (a
+call in a for-loop header, for instance) cannot be wrapped and are skipped
+with a note — mirroring the tool's practical restriction to statement
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InstrumentError
+from repro.frontend import ast_nodes as A
+from repro.frontend.location import SourceLoc
+from repro.frontend.pretty import format_module
+from repro.sensors.model import SensorType, VSensor
+
+TICK = "vs_tick"
+TOCK = "vs_tock"
+
+
+@dataclass(slots=True)
+class SensorInfo:
+    """Runtime-facing description of one instrumented sensor."""
+
+    sensor_id: int
+    sensor_type: SensorType
+    function: str
+    line: int
+    spelled: str
+    rank_invariant: bool
+
+
+@dataclass(slots=True)
+class InstrumentedProgram:
+    """The instrumented AST plus the sensor registry the runtime needs."""
+
+    module: A.Module
+    sensors: dict[int, SensorInfo] = field(default_factory=dict)
+    skipped: list[VSensor] = field(default_factory=list)
+
+    @property
+    def source(self) -> str:
+        """Modified source text (workflow step 5 input)."""
+        return format_module(self.module)
+
+
+def _build_owner_maps(
+    module: A.Module,
+) -> tuple[dict[int, tuple[A.Block, A.Stmt]], dict[int, A.Stmt]]:
+    """Map statement id -> (owning block, stmt) and expr id -> carrier stmt."""
+    stmt_owner: dict[int, tuple[A.Block, A.Stmt]] = {}
+    expr_owner: dict[int, A.Stmt] = {}
+    for fn in module.functions:
+        if fn.body is None:
+            continue
+        for stmt in A.walk_stmts(fn.body):
+            if isinstance(stmt, A.Block):
+                for child in stmt.stmts:
+                    stmt_owner[child.node_id] = (stmt, child)
+            for expr in A.walk_exprs(stmt):
+                expr_owner[expr.node_id] = stmt
+    return stmt_owner, expr_owner
+
+
+def _probe(name: str, sensor_id: int, loc: SourceLoc) -> A.ExprStmt:
+    call = A.CallExpr(loc=loc, callee=name, args=[A.IntLit(loc=loc, value=sensor_id)])
+    return A.ExprStmt(loc=loc, expr=call)
+
+
+def instrument_module(
+    module: A.Module,
+    sensors: list[VSensor],
+) -> InstrumentedProgram:
+    """Splice probes for ``sensors`` into ``module`` (mutating it)."""
+    program = InstrumentedProgram(module=module)
+    stmt_owner, expr_owner = _build_owner_maps(module)
+
+    # Insert outermost-first so indices found per insertion stay valid: we
+    # re-find the index at each insertion via identity search.
+    for sensor in sensors:
+        node = sensor.snippet.node
+        carrier: A.Stmt | None
+        if isinstance(node, A.Stmt):
+            entry = stmt_owner.get(node.node_id)
+            carrier = entry[1] if entry else None
+            block = entry[0] if entry else None
+        else:
+            carrier = expr_owner.get(node.node_id)
+            entry = stmt_owner.get(carrier.node_id) if carrier is not None else None
+            block = entry[0] if entry else None
+        if carrier is None or block is None:
+            program.skipped.append(sensor)
+            continue
+        try:
+            idx = next(i for i, s in enumerate(block.stmts) if s is carrier)
+        except StopIteration:
+            raise InstrumentError(
+                f"carrier statement for sensor at {sensor.loc} vanished during rewriting"
+            )
+        block.stmts.insert(idx + 1, _probe(TOCK, sensor.sensor_id, node.loc))
+        block.stmts.insert(idx, _probe(TICK, sensor.sensor_id, node.loc))
+        program.sensors[sensor.sensor_id] = SensorInfo(
+            sensor_id=sensor.sensor_id,
+            sensor_type=sensor.sensor_type,
+            function=sensor.function,
+            line=sensor.loc.line,
+            spelled=sensor.snippet.spelled,
+            rank_invariant=sensor.rank_invariant,
+        )
+    return program

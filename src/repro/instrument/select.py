@@ -1,0 +1,168 @@
+"""v-sensor selection rules (§4).
+
+* **Scope** — only *global* v-sensors are instrumented: their history stays
+  valid for the whole run, so one scalar standard time per sensor suffices.
+* **Granularity** — a ``max_depth`` cut: out-most loops are depth 0; only
+  sensors nested shallower than ``max_depth`` are kept (fine-grained sensors
+  additionally get runtime shutoff, §5.3).
+* **Nested sensors** — the probes themselves are not fixed-workload, so an
+  instrumented sensor inside another would destroy the outer one; prefer
+  the outermost of any nested pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sensors.asttools import subtree_ids
+from repro.sensors.identify import IdentificationResult
+from repro.sensors.model import SensorType, VSensor
+
+
+@dataclass(slots=True)
+class InstrumentationPlan:
+    """The sensors chosen for probing, with bookkeeping for reports."""
+
+    selected: list[VSensor] = field(default_factory=list)
+    rejected_scope: list[VSensor] = field(default_factory=list)
+    rejected_depth: list[VSensor] = field(default_factory=list)
+    rejected_nested: list[VSensor] = field(default_factory=list)
+    #: calls to externs too small to wrap in probes (math etc.)
+    rejected_tiny: list[VSensor] = field(default_factory=list)
+
+    def by_type(self) -> dict[SensorType, int]:
+        counts: dict[SensorType, int] = {}
+        for s in self.selected:
+            counts[s.sensor_type] = counts.get(s.sensor_type, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """Table-1 style instrumentation summary, e.g. ``87Comp+5Net``."""
+        counts = self.by_type()
+        parts = [
+            f"{counts[t]}{t.value}"
+            for t in (SensorType.COMPUTATION, SensorType.NETWORK, SensorType.IO)
+            if t in counts
+        ]
+        return "+".join(parts) if parts else "0"
+
+
+def _estimated_too_small(sensor: VSensor, estimator, threshold: float) -> bool:
+    estimate = estimator.estimate_snippet(sensor.snippet.node)
+    return estimate is not None and estimate < threshold
+
+
+def _is_tiny_extern_call(sensor: VSensor, result: IdentificationResult) -> bool:
+    """Call snippets to externs marked not probe-worthy (math, rand, ...):
+    the probe would dwarf the call."""
+    from repro.frontend.ast_nodes import CallExpr
+    from repro.sensors.model import SnippetKind
+
+    if sensor.snippet.kind is not SnippetKind.CALL:
+        return False
+    node = sensor.snippet.node
+    assert isinstance(node, CallExpr)
+    model = result.summaries.extern_model(node.callee)
+    return model is not None and not model.probe_worthy
+
+
+def _functions_reachable_from(
+    sensor: VSensor, subtree: frozenset[int], result: IdentificationResult
+) -> set[str]:
+    """Functions whose code executes inside ``sensor``'s snippet (via calls
+    in the snippet's subtree, transitively through the call graph)."""
+    from repro.ir.instructions import CallInstr
+
+    fn = result.ir.functions.get(sensor.function)
+    if fn is None:
+        return set()
+    roots: set[str] = set()
+    for instr in fn.instructions():
+        node = instr.ast_node
+        if node is None or node.node_id not in subtree:
+            continue
+        if isinstance(instr, CallInstr) and not instr.is_indirect:
+            if result.ir.has_function(instr.callee):
+                roots.add(instr.callee)
+    reachable: set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        if name in result.callgraph.graph:
+            stack.extend(result.callgraph.graph.successors(name))
+    return reachable
+
+
+def select_sensors(
+    result: IdentificationResult,
+    max_depth: int = 3,
+    min_estimated_work: float = 0.0,
+) -> InstrumentationPlan:
+    """Apply the selection rules to the identification result.
+
+    ``min_estimated_work`` additionally skips sensors whose compile-time
+    work estimate (``repro.sensors.estimate``) is known and below the
+    threshold — the concrete form of §4's "this compile-time strategy is
+    only an estimation" granularity cut.  Unknown estimates are kept (the
+    runtime shutoff of §5.3 covers those).
+    """
+    plan = InstrumentationPlan()
+
+    estimator = None
+    if min_estimated_work > 0.0 and result.ir.ast is not None:
+        from repro.sensors.estimate import WorkloadEstimator
+
+        estimator = WorkloadEstimator(result.ir.ast, externs=result.summaries.externs)
+
+    candidates: list[VSensor] = []
+    for sensor in result.sensors:
+        if not sensor.is_global:
+            plan.rejected_scope.append(sensor)
+        elif sensor.snippet.depth >= max_depth:
+            plan.rejected_depth.append(sensor)
+        elif _is_tiny_extern_call(sensor, result):
+            plan.rejected_tiny.append(sensor)
+        elif estimator is not None and _estimated_too_small(
+            sensor, estimator, min_estimated_work
+        ):
+            plan.rejected_tiny.append(sensor)
+        else:
+            candidates.append(sensor)
+
+    # Nested exclusion: drop any candidate whose probes would execute inside
+    # another candidate's probes (prefer the outermost).  Two cases:
+    # same-function AST nesting, and dynamic nesting through calls — a
+    # candidate sitting in a function reachable from calls inside another
+    # candidate's subtree.
+    subtrees = {
+        s.sensor_id: subtree_ids(s.snippet.node) for s in candidates if s.function
+    }
+    reachable = {
+        s.sensor_id: _functions_reachable_from(s, subtrees[s.sensor_id], result)
+        for s in candidates
+    }
+    kept: list[VSensor] = []
+    for sensor in candidates:
+        nested = any(
+            other is not sensor
+            and (
+                (
+                    other.function == sensor.function
+                    and sensor.sensor_id in subtrees[other.sensor_id]
+                )
+                or sensor.function in reachable[other.sensor_id]
+            )
+            for other in candidates
+        )
+        if nested:
+            plan.rejected_nested.append(sensor)
+        else:
+            kept.append(sensor)
+
+    for sensor in kept:
+        sensor.selected = True
+    plan.selected = kept
+    return plan

@@ -1,0 +1,63 @@
+"""Three-address intermediate representation.
+
+The paper's identification algorithm runs on LLVM-IR; this package provides
+the equivalent substrate: functions made of basic blocks holding
+three-address instructions over virtual registers and named memory locations
+(locals, params, globals).  Every instruction carries a back-link to the AST
+node it was lowered from, which implements workflow step 3 ("map to
+source").
+
+Public surface: :func:`lower_module` (AST → IR) and the instruction /
+block / function / module classes.
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    AddrOfInstr,
+    BinInstr,
+    Branch,
+    CallInstr,
+    ConstFloat,
+    ConstInt,
+    ConstStr,
+    Instr,
+    Jump,
+    Load,
+    LoadElem,
+    Reg,
+    Ret,
+    Store,
+    StoreElem,
+    UnaryInstr,
+    Value,
+)
+from repro.ir.irmodule import IRModule
+from repro.ir.lower import lower_module
+from repro.ir.printer import format_ir_function, format_ir_module
+
+__all__ = [
+    "AddrOfInstr",
+    "BasicBlock",
+    "BinInstr",
+    "Branch",
+    "CallInstr",
+    "ConstFloat",
+    "ConstInt",
+    "ConstStr",
+    "IRFunction",
+    "IRModule",
+    "Instr",
+    "Jump",
+    "Load",
+    "LoadElem",
+    "Reg",
+    "Ret",
+    "Store",
+    "StoreElem",
+    "UnaryInstr",
+    "Value",
+    "format_ir_function",
+    "format_ir_module",
+    "lower_module",
+]

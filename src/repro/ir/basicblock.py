@@ -1,0 +1,58 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Branch, Instr, Jump, is_terminator
+
+_BLOCK_IDS = itertools.count(1)
+
+
+@dataclass(eq=False, slots=True)
+class BasicBlock:
+    """One node of a function's control-flow graph.
+
+    Successor edges come from the terminator; predecessor lists are
+    maintained by :meth:`seal` on the owning function once construction is
+    done.
+    """
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    preds: list["BasicBlock"] = field(default_factory=list)
+    block_id: int = field(default_factory=lambda: next(_BLOCK_IDS), init=False)
+
+    def __hash__(self) -> int:
+        return self.block_id
+
+    def append(self, instr: Instr) -> Instr:
+        if self.is_terminated:
+            raise ValueError(f"block {self.label} already terminated")
+        instr.block = self
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Instr | None:
+        if self.instrs and is_terminator(self.instrs[-1]):
+            return self.instrs[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        if isinstance(term, Branch):
+            # A branch may degenerate to one successor (e.g. `if` without else).
+            succs = [term.true_block, term.false_block]
+            return [s for i, s in enumerate(succs) if s is not None and s not in succs[:i]]
+        if isinstance(term, Jump):
+            return [term.target]
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BasicBlock({self.label}, {len(self.instrs)} instrs)"

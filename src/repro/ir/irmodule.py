@@ -1,0 +1,27 @@
+"""IR modules: lowered functions plus global-variable metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.ast_nodes import Module
+from repro.ir.function import IRFunction
+
+
+@dataclass(eq=False, slots=True)
+class IRModule:
+    """A lowered translation unit."""
+
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    #: global name -> array size (None for scalars)
+    globals: dict[str, int | None] = field(default_factory=dict)
+    ast: Module | None = None
+
+    def function(self, name: str) -> IRFunction:
+        return self.functions[name]
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions
+
+    def is_global(self, name: str) -> bool:
+        return name in self.globals

@@ -1,0 +1,72 @@
+"""Textual dump of the IR, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    AddrOfInstr,
+    BinInstr,
+    Branch,
+    CallInstr,
+    Instr,
+    Jump,
+    Load,
+    LoadElem,
+    Ret,
+    Store,
+    StoreElem,
+    UnaryInstr,
+)
+from repro.ir.irmodule import IRModule
+
+
+def format_instr(instr: Instr) -> str:
+    if isinstance(instr, BinInstr):
+        return f"{instr.dest} = {instr.lhs} {instr.op} {instr.rhs}"
+    if isinstance(instr, UnaryInstr):
+        return f"{instr.dest} = {instr.op}{instr.src}"
+    if isinstance(instr, Load):
+        return f"{instr.dest} = load {instr.var}"
+    if isinstance(instr, Store):
+        return f"store {instr.var}, {instr.src}"
+    if isinstance(instr, LoadElem):
+        return f"{instr.dest} = load {instr.arr}[{instr.index}]"
+    if isinstance(instr, StoreElem):
+        return f"store {instr.arr}[{instr.index}], {instr.src}"
+    if isinstance(instr, CallInstr):
+        args = ", ".join(str(a) for a in instr.args)
+        prefix = f"{instr.dest} = " if instr.dest is not None else ""
+        kind = "icall" if instr.is_indirect else "call"
+        return f"{prefix}{kind} {instr.callee}({args})"
+    if isinstance(instr, AddrOfInstr):
+        return f"{instr.dest} = &{instr.func_name}"
+    if isinstance(instr, Branch):
+        false = instr.false_block.label if instr.false_block is not None else "<none>"
+        return f"br {instr.cond}, {instr.true_block.label}, {false}"
+    if isinstance(instr, Jump):
+        return f"jmp {instr.target.label}"
+    if isinstance(instr, Ret):
+        return f"ret {instr.value}" if instr.value is not None else "ret"
+    raise TypeError(type(instr).__name__)
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.label}:"]
+    lines.extend(f"  {format_instr(i)}" for i in block.instrs)
+    return "\n".join(lines)
+
+
+def format_ir_function(fn: IRFunction) -> str:
+    params = ", ".join(fn.params)
+    lines = [f"func {fn.name}({params}) -> {fn.ret_type} {{"]
+    for block in fn.blocks:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_ir_module(module: IRModule) -> str:
+    parts = [f"global {name}" + (f"[{size}]" if size is not None else "") for name, size in module.globals.items()]
+    parts.extend(format_ir_function(fn) for fn in module.functions.values())
+    return "\n\n".join(parts) + "\n"

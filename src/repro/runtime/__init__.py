@@ -1,0 +1,44 @@
+"""The dynamic module: online performance-variance detection (Section 5).
+
+Record flow, mirroring the paper's pipeline:
+
+1. probe records arrive per rank (:mod:`repro.runtime.records`),
+2. records are aggregated over small time slices to filter high-frequency
+   OS noise (:mod:`repro.runtime.smoothing`, §5.1),
+3. slice averages are normalized against the sensor's fastest observation
+   — one scalar of history per sensor (:mod:`repro.runtime.history`, §5.2,
+   §5.3) — optionally split by dynamic-rule groups
+   (:mod:`repro.runtime.dynrules`),
+4. each rank batches its slice summaries to the analysis server
+   (:mod:`repro.runtime.server`, §5.4), which performs inter-process
+   comparison and builds the per-component performance matrices the
+   visualizer renders (§5.5).
+
+:class:`~repro.runtime.vsensor_hooks.VSensorRuntime` packages all of this
+behind the simulator's hook interface.
+"""
+
+from repro.runtime.detector import DetectorConfig, RankDetector, VarianceEvent
+from repro.runtime.dynrules import CacheMissBands, DynamicRule, NoGrouping
+from repro.runtime.history import SensorHistory
+from repro.runtime.records import SensorRecord, SliceSummary
+from repro.runtime.report import VarianceReport
+from repro.runtime.server import AnalysisServer
+from repro.runtime.smoothing import SliceAggregator
+from repro.runtime.vsensor_hooks import VSensorRuntime
+
+__all__ = [
+    "AnalysisServer",
+    "CacheMissBands",
+    "DetectorConfig",
+    "DynamicRule",
+    "NoGrouping",
+    "RankDetector",
+    "SensorHistory",
+    "SensorRecord",
+    "SliceAggregator",
+    "SliceSummary",
+    "VSensorRuntime",
+    "VarianceEvent",
+    "VarianceReport",
+]

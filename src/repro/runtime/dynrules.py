@@ -1,0 +1,57 @@
+"""Dynamic rules: runtime classification of sensor records (§3.1, §5.3).
+
+A dynamic rule assigns each record a *group* key from information that only
+exists at runtime (the canonical example: cache-miss-rate bands).  History
+and variance detection then operate per (sensor, group): a slow record in
+the low-miss group is a variance even if fast high-miss records exist
+(Fig. 13, case 2).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.runtime.records import SensorRecord
+
+
+class DynamicRule(Protocol):
+    """Assigns a group key to each record."""
+
+    name: str
+
+    def group(self, record: SensorRecord) -> str:
+        ...
+
+
+class NoGrouping:
+    """Case 1 of Fig. 13: every metric is expected constant — one group."""
+
+    name = "none"
+
+    def group(self, record: SensorRecord) -> str:
+        return ""
+
+
+class CacheMissBands:
+    """Group by cache-miss-rate bands, e.g. [0, 10%), [10%, 20%), ...."""
+
+    def __init__(self, band_width: float = 0.10) -> None:
+        if not (0.0 < band_width <= 1.0):
+            raise ValueError("band_width must be in (0, 1]")
+        self.band_width = band_width
+        self.name = f"cache-miss-bands({band_width:.0%})"
+
+    def group(self, record: SensorRecord) -> str:
+        band = int(record.cache_miss_rate / self.band_width)
+        return f"miss{band}"
+
+
+class ThresholdMiss:
+    """Binary high/low cache-miss grouping (the Fig. 13 presentation)."""
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        self.threshold = threshold
+        self.name = f"miss-threshold({threshold})"
+
+    def group(self, record: SensorRecord) -> str:
+        return "H" if record.cache_miss_rate >= self.threshold else "L"

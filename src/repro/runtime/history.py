@@ -1,0 +1,41 @@
+"""Per-sensor history: one scalar standard time (§5.3).
+
+A v-sensor's work never changes, so its fastest observed (slice-averaged)
+execution time is the *standard time*.  Normalized performance of a new
+observation is ``standard / observed`` — 1.0 for the fastest ever seen,
+0.5 for twice as slow (§5.2).  Storage is O(sensors), not O(records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SensorHistory:
+    """Standard times keyed by (sensor id, dynamic-rule group)."""
+
+    _standard: dict[tuple[int, str], float] = field(default_factory=dict)
+
+    def observe(self, sensor_id: int, group: str, mean_duration: float) -> float:
+        """Update history with one slice average; return normalized perf.
+
+        The first observation of a sensor defines its standard and scores
+        1.0; any later faster observation lowers the standard (and the
+        normalization of *future* records — the paper's matrices show the
+        same effect at the start of a run).
+        """
+        key = (sensor_id, group)
+        standard = self._standard.get(key)
+        if standard is None or mean_duration < standard:
+            self._standard[key] = mean_duration
+            return 1.0
+        if mean_duration <= 0.0:
+            return 1.0
+        return standard / mean_duration
+
+    def standard_time(self, sensor_id: int, group: str = "") -> float | None:
+        return self._standard.get((sensor_id, group))
+
+    def entries(self) -> int:
+        return len(self._standard)

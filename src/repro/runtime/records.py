@@ -1,0 +1,51 @@
+"""Record types flowing through the dynamic module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sensors.model import SensorType
+
+
+@dataclass(frozen=True, slots=True)
+class SensorRecord:
+    """One Tick..Tock execution of a v-sensor on one rank."""
+
+    rank: int
+    sensor_id: int
+    sensor_type: SensorType
+    t_start: float
+    t_end: float
+    instructions: float
+    cache_miss_rate: float
+    #: dynamic-rule group key; "" until grouped
+    group: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True, slots=True)
+class SliceSummary:
+    """Average behaviour of one sensor (group) during one time slice.
+
+    This is the unit of storage and of communication with the analysis
+    server: instead of a long record list, only slice summaries exist
+    (§5.1) — and per sensor only a scalar standard time is kept as history
+    (§5.3).
+    """
+
+    rank: int
+    sensor_id: int
+    sensor_type: SensorType
+    group: str
+    slice_index: int
+    t_slice_start: float
+    mean_duration: float
+    count: int
+    mean_cache_miss: float
+
+    #: serialized size in bytes when sent to the analysis server: sensor id
+    #: (4) + slice (4) + duration (4) + count (2) + miss rate (2)
+    WIRE_BYTES = 16

@@ -1,0 +1,140 @@
+"""The analysis server: inter-process detection and matrices (§5.4–§5.5).
+
+A dedicated process collects slice summaries from every rank.  To stay
+network-friendly, each rank buffers summaries locally and ships them in
+periodic batches; the server accounts the bytes it receives (the §6.4 data
+volume comparison against tracing).  The server
+
+* merges same-type sensors into per-component performance series (§5.2),
+* compares the same sensor across ranks per time window (inter-process
+  detection), and
+* maintains the process x time performance matrix per component that the
+  visualizer renders (§5.5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.history import SensorHistory
+from repro.runtime.records import SliceSummary
+from repro.sensors.model import SensorType
+
+
+@dataclass(frozen=True, slots=True)
+class InterProcessEvent:
+    """Some ranks run a sensor significantly slower than the best rank."""
+
+    sensor_id: int
+    sensor_type: SensorType
+    window_index: int
+    t_window_start: float
+    slow_ranks: tuple[int, ...]
+    #: normalized performance of the slowest flagged rank
+    worst_performance: float
+
+
+@dataclass(slots=True)
+class AnalysisServer:
+    n_ranks: int
+    #: matrix time resolution (µs); the paper's Fig. 14 uses 200 ms
+    window_us: float = 200_000.0
+    #: batching period per rank (µs)
+    batch_period_us: float = 100_000.0
+    threshold: float = 0.7
+
+    bytes_received: int = 0
+    batches_received: int = 0
+    summaries_received: int = 0
+    #: global (cross-rank) standard times per sensor
+    history: SensorHistory = field(default_factory=SensorHistory)
+    #: (type, window) -> rank -> [perf values]
+    _cells: dict[tuple[SensorType, int], dict[int, list[float]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list))
+    )
+    #: (sensor, window) -> rank -> mean duration (for inter-process compare)
+    _per_sensor: dict[tuple[int, int], dict[int, float]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    inter_events: list[InterProcessEvent] = field(default_factory=list)
+    _max_window: int = 0
+    _sensor_types: dict[int, SensorType] = field(default_factory=dict)
+
+    def receive_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
+        """One batched transfer from a rank's local buffer."""
+        self.batches_received += 1
+        self.bytes_received += 8 + SliceSummary.WIRE_BYTES * len(summaries)
+        self.summaries_received += len(summaries)
+        for summary in summaries:
+            self._ingest(summary)
+
+    def _ingest(self, summary: SliceSummary) -> None:
+        window = int(summary.t_slice_start // self.window_us)
+        self._max_window = max(self._max_window, window)
+        self._sensor_types[summary.sensor_id] = summary.sensor_type
+        perf = self.history.observe(summary.sensor_id, summary.group, summary.mean_duration)
+        self._cells[(summary.sensor_type, window)][summary.rank].append(perf)
+        sensor_window = self._per_sensor[(summary.sensor_id, window)]
+        prev = sensor_window.get(summary.rank)
+        # Keep the mean duration of the rank's slices in this window.
+        sensor_window[summary.rank] = (
+            summary.mean_duration if prev is None else 0.5 * (prev + summary.mean_duration)
+        )
+
+    # -- inter-process analysis (§5.4) --------------------------------------
+
+    def detect_inter_process(self, min_ranks: int = 2) -> list[InterProcessEvent]:
+        """Compare the same v-sensor across ranks within each window."""
+        self.inter_events = []
+        for (sensor_id, window), per_rank in sorted(self._per_sensor.items()):
+            if len(per_rank) < min_ranks:
+                continue
+            durations = np.array(list(per_rank.values()))
+            ranks = np.array(list(per_rank.keys()))
+            best = durations.min()
+            if best <= 0:
+                continue
+            perf = best / durations
+            slow_mask = perf < self.threshold
+            if not slow_mask.any():
+                continue
+            sensor_type = self._sensor_type_of(sensor_id)
+            self.inter_events.append(
+                InterProcessEvent(
+                    sensor_id=sensor_id,
+                    sensor_type=sensor_type,
+                    window_index=window,
+                    t_window_start=window * self.window_us,
+                    slow_ranks=tuple(int(r) for r in np.sort(ranks[slow_mask])),
+                    worst_performance=float(perf.min()),
+                )
+            )
+        return self.inter_events
+
+    def _sensor_type_of(self, sensor_id: int) -> SensorType:
+        return self._sensor_types.get(sensor_id, SensorType.COMPUTATION)
+
+    # -- matrices (§5.5) -------------------------------------------------------
+
+    def performance_matrix(self, sensor_type: SensorType) -> np.ndarray:
+        """(n_ranks, n_windows) matrix of normalized performance.
+
+        Cells without data are NaN; the visualizer paints them neutrally.
+        """
+        n_windows = self._max_window + 1
+        matrix = np.full((self.n_ranks, n_windows), np.nan)
+        for (stype, window), ranks in self._cells.items():
+            if stype is not sensor_type:
+                continue
+            for rank, values in ranks.items():
+                matrix[rank, window] = float(np.mean(values))
+        return matrix
+
+    def mean_rank_performance(self, sensor_type: SensorType) -> np.ndarray:
+        """Per-rank mean normalized performance (persistent-fault signal)."""
+        matrix = self.performance_matrix(sensor_type)
+        with np.errstate(invalid="ignore"):
+            return np.nanmean(matrix, axis=1)

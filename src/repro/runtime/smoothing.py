@@ -1,0 +1,75 @@
+"""Time-slice aggregation (§5.1).
+
+High-frequency, short-duration OS noise makes very short sensors look
+chaotic; averaging over a small time slice (1000 µs by default) filters it
+so that only durable variance remains.  Aggregation also bounds analysis
+cost: the detection algorithm runs once per slice, not once per record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.records import SensorRecord, SliceSummary
+from repro.sensors.model import SensorType
+
+
+@dataclass(slots=True)
+class _SliceAccum:
+    total_duration: float = 0.0
+    total_miss: float = 0.0
+    count: int = 0
+
+
+@dataclass(slots=True)
+class SliceAggregator:
+    """Per-rank streaming aggregator.
+
+    Records for each (sensor, group) are accumulated until a record falls
+    into a later slice, at which point the finished slice is emitted.  The
+    stream is time-ordered per rank by construction (the rank's own clock).
+    """
+
+    rank: int
+    slice_us: float = 1000.0
+    _open: dict[tuple[int, str], tuple[int, _SliceAccum]] = field(default_factory=dict)
+    _types: dict[int, SensorType] = field(default_factory=dict)
+
+    def add(self, record: SensorRecord) -> list[SliceSummary]:
+        """Feed one record; return any slice summaries completed by it."""
+        self._types[record.sensor_id] = record.sensor_type
+        key = (record.sensor_id, record.group)
+        idx = int(record.t_end // self.slice_us)
+        emitted: list[SliceSummary] = []
+        open_entry = self._open.get(key)
+        if open_entry is not None and open_entry[0] != idx:
+            emitted.append(self._emit(key, *open_entry))
+            open_entry = None
+        if open_entry is None:
+            open_entry = (idx, _SliceAccum())
+            self._open[key] = open_entry
+        accum = open_entry[1]
+        accum.total_duration += record.duration
+        accum.total_miss += record.cache_miss_rate
+        accum.count += 1
+        return emitted
+
+    def flush(self) -> list[SliceSummary]:
+        """Emit every open slice (end of run)."""
+        emitted = [self._emit(key, idx, accum) for key, (idx, accum) in self._open.items()]
+        self._open.clear()
+        return emitted
+
+    def _emit(self, key: tuple[int, str], idx: int, accum: _SliceAccum) -> SliceSummary:
+        sensor_id, group = key
+        return SliceSummary(
+            rank=self.rank,
+            sensor_id=sensor_id,
+            sensor_type=self._types[sensor_id],
+            group=group,
+            slice_index=idx,
+            t_slice_start=idx * self.slice_us,
+            mean_duration=accum.total_duration / accum.count,
+            count=accum.count,
+            mean_cache_miss=accum.total_miss / accum.count,
+        )

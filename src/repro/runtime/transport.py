@@ -1,0 +1,155 @@
+"""Transports between ranks and the analysis server (§5.4).
+
+The paper: data reaches the analysis server "by processes sending messages
+to analysis-server or by updating shared files."  The default path in this
+package is direct in-memory delivery (the message analogue).  This module
+adds the shared-file alternative: each rank appends binary batches to its
+own spool file; the server drains the spools, either periodically during
+the run or once at the end.  The wire format matches ``SliceSummary``'s
+accounted size, so the §6.4 volume numbers are transport-independent.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+
+from repro.runtime.records import SliceSummary
+from repro.runtime.server import AnalysisServer
+from repro.sensors.model import SensorType
+
+#: one record: sensor id (u32), slice index (u32), mean duration (f32),
+#: count (u16), mean cache miss scaled to u16 — 16 bytes with padding,
+#: matching SliceSummary.WIRE_BYTES.
+_RECORD = struct.Struct("<IIfHHxx")
+_BATCH_HEADER = struct.Struct("<IHH")  # rank (u32), n (u16), type+group tag
+
+
+_TYPE_CODE = {SensorType.COMPUTATION: 0, SensorType.NETWORK: 1, SensorType.IO: 2}
+_CODE_TYPE = {v: k for k, v in _TYPE_CODE.items()}
+
+
+@dataclass(slots=True)
+class FileSpool:
+    """Rank-side writer plus server-side drainer over a spool directory."""
+
+    directory: str
+    #: group names are interned per spool (dynamic-rule group strings)
+    _groups: list[str] = field(default_factory=lambda: [""])
+    _offsets: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, rank: int) -> str:
+        return os.path.join(self.directory, f"rank{rank:05d}.spool")
+
+    def _group_code(self, group: str) -> int:
+        try:
+            return self._groups.index(group)
+        except ValueError:
+            self._groups.append(group)
+            return len(self._groups) - 1
+
+    # -- rank side ---------------------------------------------------------
+
+    def append_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
+        """Append one batch to the rank's spool file."""
+        chunks = []
+        for s in summaries:
+            tag = (_TYPE_CODE[s.sensor_type] << 12) | (self._group_code(s.group) & 0x0FFF)
+            chunks.append(_BATCH_HEADER.pack(rank, 1, tag))
+            chunks.append(
+                _RECORD.pack(
+                    s.sensor_id & 0xFFFFFFFF,
+                    s.slice_index & 0xFFFFFFFF,
+                    float(s.mean_duration),
+                    min(s.count, 0xFFFF),
+                    int(min(max(s.mean_cache_miss, 0.0), 1.0) * 0xFFFF),
+                )
+            )
+        with open(self._path(rank), "ab") as fh:
+            fh.write(b"".join(chunks))
+
+    # -- server side ----------------------------------------------------------
+
+    def drain_into(self, server: AnalysisServer, slice_us: float = 1000.0) -> int:
+        """Read all new spool data into the server; return summaries read."""
+        total = 0
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".spool"):
+                continue
+            path = os.path.join(self.directory, name)
+            rank = int(name[4:9])
+            offset = self._offsets.get(rank, 0)
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+            self._offsets[rank] = offset + len(data)
+            total += self._decode_into(server, rank, data, slice_us)
+        return total
+
+    def _decode_into(
+        self, server: AnalysisServer, rank: int, data: bytes, slice_us: float
+    ) -> int:
+        pos = 0
+        count = 0
+        batch: list[SliceSummary] = []
+        while pos + _BATCH_HEADER.size + _RECORD.size <= len(data):
+            _rank, _n, tag = _BATCH_HEADER.unpack_from(data, pos)
+            pos += _BATCH_HEADER.size
+            sensor_id, slice_index, mean_duration, n_records, miss_u16 = _RECORD.unpack_from(
+                data, pos
+            )
+            pos += _RECORD.size
+            group_code = tag & 0x0FFF
+            group = self._groups[group_code] if group_code < len(self._groups) else ""
+            batch.append(
+                SliceSummary(
+                    rank=rank,
+                    sensor_id=sensor_id,
+                    sensor_type=_CODE_TYPE[tag >> 12],
+                    group=group,
+                    slice_index=slice_index,
+                    t_slice_start=slice_index * slice_us,
+                    mean_duration=mean_duration,
+                    count=n_records,
+                    mean_cache_miss=miss_u16 / 0xFFFF,
+                )
+            )
+            count += 1
+        if batch:
+            server.receive_batch(rank, batch)
+        return count
+
+
+@dataclass(slots=True)
+class SpoolingRuntimeMixin:
+    """Helper wiring a VSensorRuntime to a FileSpool: replace the direct
+    ``server.receive_batch`` delivery with spool writes, then drain."""
+
+    spool: FileSpool
+    _direct_server: AnalysisServer | None = None
+
+    def attach(self, runtime) -> None:
+        direct_server = runtime.server
+        spool = self.spool
+
+        class _SpoolWriter:
+            """Duck-typed stand-in for the server on the rank side."""
+
+            batch_period_us = direct_server.batch_period_us
+
+            def receive_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
+                spool.append_batch(rank, summaries)
+
+        runtime.server = _SpoolWriter()  # type: ignore[assignment]
+        self._direct_server = direct_server
+
+    def finish(self, runtime, slice_us: float = 1000.0) -> AnalysisServer:
+        """Drain everything and restore the real server on the runtime."""
+        server = self._direct_server
+        self.spool.drain_into(server, slice_us=slice_us)
+        runtime.server = server
+        return server

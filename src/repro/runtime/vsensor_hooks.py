@@ -1,0 +1,103 @@
+"""The vSensor dynamic module packaged as simulator hooks.
+
+One :class:`RankDetector` per rank performs smoothing, history comparison
+and intra-process detection online; slice summaries are buffered per rank
+and shipped to the :class:`AnalysisServer` in periodic batches (§5.4).
+The report object (§5.5) is assembled at the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instrument.rewrite import SensorInfo
+from repro.runtime.detector import DetectorConfig, RankDetector, VarianceEvent
+from repro.runtime.dynrules import DynamicRule, NoGrouping
+from repro.runtime.records import SensorRecord
+from repro.runtime.report import VarianceReport, build_report
+from repro.runtime.server import AnalysisServer
+from repro.sim.hooks import RuntimeHooks
+from repro.sim.pmu import PmuSample
+
+
+@dataclass(slots=True)
+class VSensorRuntime(RuntimeHooks):
+    """Install on a simulated run to perform online variance detection."""
+
+    sensors: dict[int, SensorInfo]
+    n_ranks: int
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+    rule: DynamicRule = field(default_factory=NoGrouping)
+    server: AnalysisServer = None  # type: ignore[assignment]
+    detectors: dict[int, RankDetector] = field(default_factory=dict)
+    #: per-rank outbound buffer and the virtual time of the last batch send
+    _buffers: dict[int, list] = field(default_factory=dict)
+    _last_batch: dict[int, float] = field(default_factory=dict)
+    _summaries_seen: dict[int, int] = field(default_factory=dict)
+    events: list[VarianceEvent] = field(default_factory=list)
+    #: optional periodic reporter (workflow step 8's live updates)
+    live: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.server is None:
+            self.server = AnalysisServer(n_ranks=self.n_ranks)
+
+    # -- hook interface ----------------------------------------------------
+
+    def on_program_start(self, n_ranks: int) -> None:
+        for rank in range(n_ranks):
+            self.detectors[rank] = RankDetector(rank=rank, config=self.config, rule=self.rule)
+            self._buffers[rank] = []
+            self._last_batch[rank] = 0.0
+            self._summaries_seen[rank] = 0
+
+    def on_sensor_record(
+        self, rank: int, sensor_id: int, t_start: float, t_end: float, pmu: PmuSample
+    ) -> None:
+        info = self.sensors.get(sensor_id)
+        if info is None:
+            return
+        detector = self.detectors[rank]
+        record = SensorRecord(
+            rank=rank,
+            sensor_id=sensor_id,
+            sensor_type=info.sensor_type,
+            t_start=t_start,
+            t_end=t_end,
+            instructions=pmu.instructions,
+            cache_miss_rate=pmu.cache_miss_rate,
+        )
+        before = len(detector.summaries)
+        self.events.extend(detector.add(record))
+        self._enqueue_new_summaries(rank, detector, before, t_end)
+
+    def on_program_end(self, rank: int, t: float) -> None:
+        detector = self.detectors.get(rank)
+        if detector is None:
+            return
+        before = len(detector.summaries)
+        self.events.extend(detector.finish())
+        self._enqueue_new_summaries(rank, detector, before, t, force=True)
+
+    # -- batching to the analysis server (§5.4) ------------------------------
+
+    def _enqueue_new_summaries(
+        self, rank: int, detector: RankDetector, before: int, now: float, force: bool = False
+    ) -> None:
+        new = detector.summaries[before:]
+        if new:
+            self._buffers[rank].extend(new)
+        due = now - self._last_batch[rank] >= self.server.batch_period_us
+        if (due or force) and self._buffers[rank]:
+            self.server.receive_batch(rank, self._buffers[rank])
+            self._buffers[rank] = []
+            self._last_batch[rank] = now
+            if self.live is not None:
+                self.live.maybe_snapshot(self, now)
+
+    # -- results -----------------------------------------------------------
+
+    def report(self, total_time: float) -> VarianceReport:
+        """Assemble the final variance report (workflow step 8 input)."""
+        self.server.detect_inter_process()
+        return build_report(self, total_time)

@@ -1,0 +1,103 @@
+"""AST structure utilities used by snippet analysis.
+
+Snippet membership ("is this IR instruction part of loop L?") is decided by
+AST-subtree containment: the lowering tags every instruction with the AST
+node it implements, and these helpers precompute subtree node-id sets and
+loop ancestry chains per function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import ast_nodes as A
+
+
+def subtree_ids(root: A.Node) -> frozenset[int]:
+    """Node ids of ``root`` and everything nested below it.
+
+    Works for statements (including nested statements and their
+    expressions) and bare expressions.
+    """
+    ids: set[int] = set()
+    if isinstance(root, A.Stmt):
+        for stmt in A.walk_stmts(root):
+            ids.add(stmt.node_id)
+            for expr in A.walk_exprs(stmt):
+                ids.add(expr.node_id)
+    else:
+        stack: list[A.Node] = [root]
+        while stack:
+            node = stack.pop()
+            ids.add(node.node_id)
+            stack.extend(A.child_exprs(node))
+    return frozenset(ids)
+
+
+@dataclass(slots=True)
+class FunctionShape:
+    """Precomputed structure facts for one function's AST."""
+
+    fn: A.FunctionDef
+    #: every loop statement in the function, preorder
+    loops: list[A.Stmt] = field(default_factory=list)
+    #: node_id -> chain of enclosing loop statements, innermost first
+    enclosing: dict[int, list[A.Stmt]] = field(default_factory=dict)
+    #: loop node_id -> subtree ids (for-loop subtrees include init/cond/step)
+    loop_subtrees: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: loop node_id -> subtree ids of the per-iteration region: the loop
+    #: subtree *minus* the init statement (a for-loop's init runs once, so a
+    #: definition there does not vary the workload across iterations).
+    loop_regions: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: every call expression in the function
+    calls: list[A.CallExpr] = field(default_factory=list)
+    #: call node_id -> subtree ids
+    call_subtrees: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: whole-body subtree ids
+    body_ids: frozenset[int] = frozenset()
+
+    def loop_depth(self, loop: A.Stmt) -> int:
+        """0 for an out-most loop, 1 for its direct subloops, ..."""
+        return len(self.enclosing.get(loop.node_id, []))
+
+
+def compute_shape(fn: A.FunctionDef) -> FunctionShape:
+    """Walk ``fn`` once and precompute loops, calls, ancestry and subtrees."""
+    shape = FunctionShape(fn=fn)
+    if fn.body is None:
+        return shape
+    shape.body_ids = subtree_ids(fn.body)
+
+    def visit(stmt: A.Stmt, loop_stack: list[A.Stmt]) -> None:
+        shape.enclosing[stmt.node_id] = list(loop_stack)
+        is_loop = isinstance(stmt, (A.ForStmt, A.WhileStmt))
+        if is_loop:
+            shape.loops.append(stmt)
+            ids = subtree_ids(stmt)
+            shape.loop_subtrees[stmt.node_id] = ids
+            if isinstance(stmt, A.ForStmt) and stmt.init is not None:
+                init_ids = subtree_ids(stmt.init)
+                shape.loop_regions[stmt.node_id] = ids - init_ids
+            else:
+                shape.loop_regions[stmt.node_id] = ids
+            # The loop's condition (and step) execute once per iteration, so
+            # expressions of the loop statement itself count the loop as
+            # enclosing.
+            loop_stack = loop_stack + [stmt]
+        for expr in A.walk_exprs(stmt):
+            shape.enclosing[expr.node_id] = list(loop_stack)
+            if isinstance(expr, A.CallExpr):
+                shape.calls.append(expr)
+                shape.call_subtrees[expr.node_id] = subtree_ids(expr)
+        for child in A.child_stmts(stmt):
+            # For-loop init/step statements belong to the loop's subtree;
+            # the init is *not* in the per-iteration region but ancestry-wise
+            # both sit inside the loop.
+            visit(child, loop_stack)
+
+    visit(fn.body, [])
+
+    # walk_exprs on compound statements only yields that statement's own
+    # expressions, so nested statements' expressions were handled in their
+    # own visit() calls; nothing further to do.
+    return shape

@@ -1,0 +1,169 @@
+"""Data model for snippets, slice results, and v-sensors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.location import SourceLoc
+
+
+class SnippetKind(enum.Enum):
+    """Only loops and calls are snippet candidates (§3.1)."""
+
+    LOOP = "loop"
+    CALL = "call"
+
+
+class SensorType(enum.Enum):
+    """The system component a sensor's timing reflects (§3.1, §5.2)."""
+
+    COMPUTATION = "Comp"
+    NETWORK = "Net"
+    IO = "IO"
+
+
+@dataclass(eq=False, slots=True)
+class Snippet:
+    """One snippet candidate: a loop or a call, inside some function."""
+
+    kind: SnippetKind
+    function: str
+    node: A.Node
+    #: enclosing loop statements within the same function, innermost first
+    enclosing_loops: list[A.Stmt] = field(default_factory=list)
+    #: loop nesting depth of the snippet itself (out-most loop = depth 0)
+    depth: int = 0
+
+    def __hash__(self) -> int:
+        return self.node.node_id
+
+    @property
+    def snippet_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def loc(self) -> SourceLoc:
+        return self.node.loc
+
+    @property
+    def spelled(self) -> str:
+        if self.kind is SnippetKind.CALL:
+            assert isinstance(self.node, A.CallExpr)
+            return f"call {self.node.callee}"
+        return "for-loop" if isinstance(self.node, A.ForStmt) else "while-loop"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Snippet({self.spelled} @ {self.function}:{self.loc.line})"
+
+
+@dataclass(slots=True)
+class SliceResult:
+    """Outcome of one dependency-propagation slice.
+
+    ``variant`` — some input changes within the checked region (not fixed).
+    ``nonfixed`` — some input is unanalyzable (array contents, undescribed
+    extern call, opaque call effect): treated as never-fixed (§3.5).
+    ``rank`` — the workload depends on the process identity (§3.4).
+    ``params``/``globals`` — function inputs the workload depends on; used
+    by inter-procedural propagation (§3.3).
+    """
+
+    variant: bool = False
+    nonfixed: bool = False
+    rank: bool = False
+    params: set[str] = field(default_factory=set)
+    globals: set[str] = field(default_factory=set)
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def fixed(self) -> bool:
+        return not (self.variant or self.nonfixed)
+
+    def merge(self, other: "SliceResult") -> None:
+        self.variant |= other.variant
+        self.nonfixed |= other.nonfixed
+        self.rank |= other.rank
+        self.params |= other.params
+        self.globals |= other.globals
+        self.reasons.extend(other.reasons)
+
+    def fail(self, reason: str, *, nonfixed: bool = False) -> None:
+        if nonfixed:
+            self.nonfixed = True
+        else:
+            self.variant = True
+        if len(self.reasons) < 16:
+            self.reasons.append(reason)
+
+
+@dataclass(eq=False, slots=True)
+class VSensor:
+    """An identified v-sensor: a snippet plus its validity scope.
+
+    ``scope_loops`` is the contiguous chain of enclosing loops (innermost
+    first, within the snippet's own function) across whose iterations the
+    workload is fixed.  ``is_function_scope`` means the chain covers every
+    enclosing loop in the function; ``is_global`` additionally means the
+    fixedness survives inter-procedural propagation to ``main`` — only
+    global sensors are instrumented (§4).
+    """
+
+    snippet: Snippet
+    sensor_type: SensorType
+    scope_loops: list[A.Stmt] = field(default_factory=list)
+    is_function_scope: bool = False
+    is_global: bool = False
+    #: fixed across MPI ranks (usable for inter-process detection, §3.4)
+    rank_invariant: bool = True
+    #: residual inputs (params/globals of the containing function)
+    param_deps: set[str] = field(default_factory=set)
+    global_deps: set[str] = field(default_factory=set)
+    #: filled by the instrumentation pass
+    selected: bool = False
+
+    def __hash__(self) -> int:
+        return self.snippet.snippet_id
+
+    @property
+    def sensor_id(self) -> int:
+        return self.snippet.snippet_id
+
+    @property
+    def loc(self) -> SourceLoc:
+        return self.snippet.loc
+
+    @property
+    def function(self) -> str:
+        return self.snippet.function
+
+    def describe(self) -> str:
+        scope = "global" if self.is_global else f"{len(self.scope_loops)} loop(s)"
+        rank = "rank-invariant" if self.rank_invariant else "rank-variant"
+        return (
+            f"{self.snippet.spelled} @ {self.function}:{self.loc.line} "
+            f"[{self.sensor_type.value}, scope={scope}, {rank}]"
+        )
+
+
+@dataclass(slots=True)
+class FunctionSummary:
+    """Bottom-up summary of one function (§3.3, §3.5).
+
+    ``workload`` — what the function's total quantity of work depends on.
+    ``ret`` — what its return value depends on.
+    ``mods`` — globals it may modify (transitively).
+    ``contains_net`` / ``contains_io`` — whether it (transitively) performs
+    network / IO operations, used for snippet classification.
+    ``never_fixed`` — recursive or address-taken functions (pruned from the
+    call graph, Fig. 10) plus undescribed externs.
+    """
+
+    name: str
+    workload: SliceResult = field(default_factory=SliceResult)
+    ret: SliceResult = field(default_factory=SliceResult)
+    mods: set[str] = field(default_factory=set)
+    contains_net: bool = False
+    contains_io: bool = False
+    never_fixed: bool = False

@@ -1,0 +1,473 @@
+"""Dependency-propagation slicing (§3.2–§3.3).
+
+The engine answers one question in two configurations:
+
+1. **Per-loop variance check** — is snippet S's quantity of work fixed over
+   iterations of enclosing loop L?  Starting from S's *workload inputs*
+   (branch-condition registers of loops/branches inside S, workload-relevant
+   argument registers of calls inside S), walk use–define chains backwards.
+   Definitions are classified by AST position:
+
+   * inside S's subtree — expand further (S's own induction structure is
+     part of the fixed workload; a pure cycle inside S contributes nothing);
+   * inside L's per-iteration region but outside S — the value is written
+     between executions of S: expand, and if the chain ever cycles through
+     such a definition (an induction like ``n = n + 1``) the workload is
+     *variant*;
+   * outside L's region — an iteration-fixed input: record which function
+     parameter / global it traces to (for inter-procedural propagation) and
+     stop.
+
+   Mixed inside/outside reaching definitions at one load are variant (the
+   first iteration reads the pre-loop value, later iterations read the
+   in-loop value).
+
+2. **Whole-function input extraction** — what do S's workload inputs depend
+   on, expressed over the containing function's parameters and globals?
+   Same walk with the region set to the whole body: every chain is expanded
+   to function entry; cycles outside S are unanalyzable (accumulators).
+
+Both configurations share the treatment of opaque sources: array-element
+loads, undescribed extern calls, indirect calls and calls into recursive /
+address-taken functions poison the slice as *non-fixed* (§3.5); calls whose
+return is the process identity mark the slice *rank-dependent* (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.dataflow.usedef import UseDefChains
+from repro.frontend import ast_nodes as A
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    AddrOfInstr,
+    BinInstr,
+    Branch,
+    CallInstr,
+    ConstFloat,
+    ConstInt,
+    ConstStr,
+    Instr,
+    Load,
+    LoadElem,
+    Reg,
+    Store,
+    StoreElem,
+    UnaryInstr,
+    Value,
+)
+from repro.sensors.extern import RET_ARGS, RET_CONST, RET_NONFIXED, RET_RANK
+from repro.sensors.model import SliceResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sensors.summaries import SummaryTable
+
+
+@dataclass(slots=True)
+class SliceContext:
+    """Everything one slicing run needs."""
+
+    fn: IRFunction
+    chains: UseDefChains
+    summaries: "SummaryTable"
+    #: AST node-ids belonging to the snippet S (expansion is free inside)
+    snippet_ids: frozenset[int]
+    #: AST node-ids of the per-iteration region of the checked loop L —
+    #: for whole-function extraction this is the whole body.
+    region_ids: frozenset[int]
+    #: names of globals in the module
+    global_names: set[str]
+
+
+def _in_snippet(ctx: SliceContext, instr: Instr) -> bool:
+    node = instr.ast_node
+    return node is not None and node.node_id in ctx.snippet_ids
+
+
+def _in_region(ctx: SliceContext, instr: Instr) -> bool:
+    node = instr.ast_node
+    return node is not None and node.node_id in ctx.region_ids
+
+
+class Slicer:
+    """One slicing run; collect into a single :class:`SliceResult`."""
+
+    def __init__(self, ctx: SliceContext) -> None:
+        self.ctx = ctx
+        self.result = SliceResult()
+        # Registers fully processed (memoization).
+        self._done_regs: set[Reg] = set()
+        # Registers currently on the walk stack (cycle detection).
+        self._active_regs: set[Reg] = set()
+        # (var, instr_id) load sites already processed.
+        self._done_loads: set[tuple[str, int]] = set()
+        self._active_loads: set[tuple[str, int]] = set()
+
+    # -- entry points --------------------------------------------------------
+
+    def trace_value(self, value: Value) -> None:
+        """Trace one operand value backwards."""
+        if isinstance(value, (ConstInt, ConstFloat, ConstStr)):
+            return
+        if isinstance(value, Reg):
+            self._trace_reg(value)
+            return
+        # Values are only registers or constants.
+        raise TypeError(type(value).__name__)
+
+    # -- the walk --------------------------------------------------------------
+
+    def _trace_reg(self, reg: Reg) -> None:
+        if reg in self._done_regs:
+            return
+        if reg in self._active_regs:
+            # A register cycle cannot occur (registers are single-assignment
+            # and acyclic through blocks); cycles materialize through loads.
+            return
+        self._active_regs.add(reg)
+        try:
+            instr = self.ctx.chains.def_of_reg(reg)
+            self._trace_defining_instr(instr)
+        finally:
+            self._active_regs.discard(reg)
+            self._done_regs.add(reg)
+
+    def _trace_defining_instr(self, instr: Instr) -> None:
+        if isinstance(instr, (BinInstr, UnaryInstr)):
+            for op in instr.operands():
+                self.trace_value(op)
+            return
+        if isinstance(instr, Load):
+            self._trace_load(instr)
+            return
+        if isinstance(instr, LoadElem):
+            # Array contents are not tracked: workload depending on data
+            # values is never provably fixed (conservative, §3.5).
+            self.result.fail(
+                f"array load {instr.arr}[] at {_loc(instr)}", nonfixed=True
+            )
+            return
+        if isinstance(instr, CallInstr):
+            self._trace_call_return(instr)
+            return
+        if isinstance(instr, AddrOfInstr):
+            return  # a constant function address
+        raise TypeError(f"register defined by {type(instr).__name__}")
+
+    # -- loads ------------------------------------------------------------------
+
+    def _trace_load(self, load: Load) -> None:
+        key = (load.var, load.instr_id)
+        if key in self._done_loads:
+            return
+        if key in self._active_loads:
+            # A use-def cycle: an induction chain (x = f(x)).  Harmless when
+            # it lives entirely inside the snippet (its own loop counters);
+            # the caller detects outside-cycles via definition classification
+            # below, so reaching here again just terminates the recursion.
+            return
+        self._active_loads.add(key)
+        try:
+            self._trace_load_inner(load)
+        finally:
+            self._active_loads.discard(key)
+            self._done_loads.add(key)
+
+    def _trace_load_inner(self, load: Load) -> None:
+        defs = self.ctx.chains.defs_for_load(load)
+        if not defs:
+            # No reaching definition: read of never-written storage.
+            self.result.fail(f"uninitialized read of {load.var} at {_loc(load)}", nonfixed=True)
+            return
+
+        inside_region: list = []
+        outside_region: list = []
+        entry_defs: list = []
+        for d in defs:
+            if d.is_entry:
+                entry_defs.append(d)
+            elif _in_region(self.ctx, d.instr):
+                inside_region.append(d)
+            else:
+                outside_region.append(d)
+
+        if inside_region and (outside_region or entry_defs):
+            # First iteration reads the pre-region value, later iterations
+            # read the in-region value: not fixed across iterations —
+            # *unless* every in-region definition is inside the snippet
+            # itself and the load is also inside the snippet (then the
+            # pre-region def reaches only the snippet's own first reads and
+            # the snippet re-establishes the value; conservatively we still
+            # flag it, matching the paper's avoid-false-positives stance).
+            if not all(_in_snippet(self.ctx, d.instr) for d in inside_region) or not _in_snippet(
+                self.ctx, load
+            ):
+                self.result.fail(
+                    f"{load.var} mixes pre-loop and in-loop definitions at {_loc(load)}"
+                )
+                return
+            # All in-region defs are the snippet's own writes, and the
+            # variable also arrives from outside: the snippet's workload
+            # depends on cross-execution state (e.g. a counter that is not
+            # re-initialized).  Variant.
+            self.result.fail(
+                f"{load.var} carries state across snippet executions at {_loc(load)}"
+            )
+            return
+
+        if not inside_region:
+            # Iteration-fixed input.  Record what it is for inter-procedural
+            # propagation, then stop: per-loop checks do not need to look
+            # further back.
+            self._record_external_input(load, entry_defs, outside_region)
+            return
+
+        # All definitions are inside the region: expand each.
+        for d in inside_region:
+            self._expand_definition(d.instr, load)
+
+    def _record_external_input(self, load: Load, entry_defs, outside_defs) -> None:
+        var = load.var
+        if entry_defs:
+            if var in self.ctx.fn.params:
+                self.result.params.add(var)
+            elif var in self.ctx.global_names:
+                self.result.globals.add(var)
+            else:
+                # An uninitialized local reaching from entry.
+                self.result.fail(f"uninitialized local {var} at {_loc(load)}", nonfixed=True)
+                return
+        if outside_defs and self.ctx.region_ids is not self.ctx.snippet_ids:
+            # Per-loop check: a definition outside the region is a fixed
+            # input for this loop; whole-function extraction never ends up
+            # here because its region covers everything.
+            for d in outside_defs:
+                self._expand_outside_definition(d.instr, load)
+
+    def _expand_outside_definition(self, instr: Instr, load: Load) -> None:
+        """For the inter-procedural residue: trace outside-region defs to
+        function inputs without variance checking (their values are fixed
+        for the checked loop, but the caller needs to know what they are a
+        function of)."""
+        if isinstance(instr, Store):
+            # Keep walking backwards from the store's operand; region rules
+            # still classify further loads, and any deeper in-region writes
+            # would already have been seen by the per-loop pass of the
+            # *outer* loop when scopes are computed loop-by-loop.
+            self.trace_value(instr.src)
+            return
+        if isinstance(instr, StoreElem):
+            self.result.fail(f"array store into {instr.arr} at {_loc(instr)}", nonfixed=True)
+            return
+        if isinstance(instr, CallInstr):
+            # A call's side effect wrote this global: opaque value, but
+            # fixed for this loop.  Whether it stays fixed program-wide is
+            # re-checked by outer-scope passes; treat as an opaque global
+            # input here.
+            self.result.globals.update(self._call_moded_globals(instr))
+            return
+        raise TypeError(f"memory defined by {type(instr).__name__}")
+
+    def _expand_definition(self, instr: Instr, load: Load) -> None:
+        if isinstance(instr, Store):
+            self.trace_value(instr.src)
+            return
+        if isinstance(instr, StoreElem):
+            self.result.fail(f"array store into {instr.arr} at {_loc(instr)}", nonfixed=True)
+            return
+        if isinstance(instr, CallInstr):
+            # A call inside the region may modify the variable: the value
+            # changes across iterations under the callee's control.
+            if _in_snippet(self.ctx, instr):
+                # The snippet's own call rewrites the value each execution;
+                # whether that is fixed depends on the callee's stored value,
+                # which we do not track: non-fixed.
+                self.result.fail(
+                    f"{load.var} written by call {instr.callee} inside snippet", nonfixed=True
+                )
+            else:
+                self.result.fail(
+                    f"{load.var} may be modified by call {instr.callee} within the loop"
+                )
+            return
+        raise TypeError(f"memory defined by {type(instr).__name__}")
+
+    def _call_moded_globals(self, instr: CallInstr) -> set[str]:
+        summary = self.ctx.summaries.for_call(instr)
+        return set(summary.mods) if summary is not None else set(self.ctx.global_names)
+
+    # -- call returns -------------------------------------------------------------
+
+    def _trace_call_return(self, instr: CallInstr) -> None:
+        if instr.is_indirect:
+            self.result.fail(f"indirect call {instr.callee} at {_loc(instr)}", nonfixed=True)
+            return
+        summary = self.ctx.summaries.for_call(instr)
+        if summary is None:
+            # Undescribed extern: never fixed (§3.5 default policy).
+            self.result.fail(f"undescribed extern {instr.callee}", nonfixed=True)
+            return
+        extern = self.ctx.summaries.extern_model(instr.callee)
+        if extern is not None:
+            if extern.ret == RET_CONST:
+                return
+            if extern.ret == RET_RANK:
+                self.result.rank = True
+                return
+            if extern.ret == RET_ARGS:
+                for arg in instr.args:
+                    self.trace_value(arg)
+                return
+            if extern.ret == RET_NONFIXED:
+                self.result.fail(f"extern {instr.callee} returns unanalyzable value", nonfixed=True)
+                return
+        # Defined function: substitute its return summary at this site.
+        ret = summary.ret
+        if summary.never_fixed or ret.nonfixed or ret.variant:
+            self.result.fail(f"call {instr.callee} returns non-fixed value", nonfixed=True)
+            return
+        if ret.rank:
+            self.result.rank = True
+        for pname in ret.params:
+            idx = self._param_index(instr.callee, pname)
+            if idx is not None and idx < len(instr.args):
+                self.trace_value(instr.args[idx])
+        for gname in ret.globals:
+            # The callee reads global gname: the value it sees is the value
+            # at the call site; model as a load of the global at this call.
+            self._trace_global_at(instr, gname)
+
+    def _trace_global_at(self, instr: CallInstr, gname: str) -> None:
+        """Treat global ``gname`` as if loaded immediately before ``instr``."""
+        defs = self.ctx.chains.defs_before(instr, gname)
+        inside = [d for d in defs if not d.is_entry and _in_region(self.ctx, d.instr)]
+        outside = [d for d in defs if d.is_entry or not _in_region(self.ctx, d.instr)]
+        if inside and outside:
+            if not all(_in_snippet(self.ctx, d.instr) for d in inside) or not _in_snippet(
+                self.ctx, instr
+            ):
+                self.result.fail(f"global {gname} mixes definitions at call {instr.callee}")
+                return
+            self.result.fail(f"global {gname} carries state across snippet executions")
+            return
+        if not inside:
+            self.result.globals.add(gname)
+            return
+        for d in inside:
+            self._expand_definition(d.instr, Load(ast_node=instr.ast_node, dest=Reg(-1), var=gname))
+
+    def _param_index(self, callee: str, pname: str) -> int | None:
+        fn = self.ctx.summaries.ir_function(callee)
+        if fn is None:
+            return None
+        try:
+            return fn.params.index(pname)
+        except ValueError:
+            return None
+
+
+def _loc(instr: Instr) -> str:
+    node = instr.ast_node
+    return str(node.loc) if node is not None else "<?>"
+
+
+# ---------------------------------------------------------------------------
+# Public helpers: collect a snippet's workload inputs and run slices
+# ---------------------------------------------------------------------------
+
+
+def workload_inputs(
+    fn: IRFunction,
+    snippet_ids: frozenset[int],
+    summaries: "SummaryTable",
+) -> tuple[list[Value], SliceResult, list[tuple[CallInstr, set[str]]]]:
+    """The operand values that determine a snippet's quantity of work.
+
+    Returns ``(values, seed, callee_global_sites)``: the values to trace, a
+    pre-seeded result carrying poison markers discovered while scanning
+    (undescribed externs, never-fixed callees), and the list of call sites
+    whose callee workload depends on globals — those globals must be traced
+    *at the call site* by the slicer.
+    """
+    seed = SliceResult()
+    values: list[Value] = []
+    callee_global_sites: list[tuple[CallInstr, set[str]]] = []
+    for block in fn.blocks:
+        for instr in block.instrs:
+            node = instr.ast_node
+            if node is None or node.node_id not in snippet_ids:
+                continue
+            if isinstance(instr, Branch):
+                values.append(instr.cond)
+            elif isinstance(instr, CallInstr):
+                _collect_call_inputs(instr, summaries, seed, values, callee_global_sites)
+    return values, seed, callee_global_sites
+
+
+def _collect_call_inputs(
+    instr: CallInstr,
+    summaries: "SummaryTable",
+    seed: SliceResult,
+    values: list[Value],
+    callee_global_sites: list[tuple[CallInstr, set[str]]],
+) -> None:
+    if instr.is_indirect:
+        seed.fail(f"indirect call {instr.callee}", nonfixed=True)
+        return
+    extern = summaries.extern_model(instr.callee)
+    if extern is not None:
+        for idx in extern.workload_args:
+            if idx < len(instr.args):
+                values.append(instr.args[idx])
+        return
+    summary = summaries.for_call(instr)
+    if summary is None:
+        seed.fail(f"undescribed extern {instr.callee}", nonfixed=True)
+        return
+    if summary.never_fixed or summary.workload.nonfixed:
+        seed.fail(f"call {instr.callee} has never-fixed workload", nonfixed=True)
+        return
+    if summary.workload.rank:
+        seed.rank = True
+    fn = summaries.ir_function(instr.callee)
+    for pname in summary.workload.params:
+        if fn is not None and pname in fn.params:
+            idx = fn.params.index(pname)
+            if idx < len(instr.args):
+                values.append(instr.args[idx])
+    if summary.workload.globals:
+        callee_global_sites.append((instr, set(summary.workload.globals)))
+
+
+def run_slice(
+    fn: IRFunction,
+    chains: UseDefChains,
+    summaries: "SummaryTable",
+    snippet_ids: frozenset[int],
+    region_ids: frozenset[int],
+    global_names: set[str],
+    values: list[Value],
+    seed: SliceResult,
+    callee_global_sites: list[tuple[CallInstr, set[str]]] | None = None,
+) -> SliceResult:
+    """Run one slice over ``values`` (plus callee-global sites) and return
+    the combined result."""
+    ctx = SliceContext(
+        fn=fn,
+        chains=chains,
+        summaries=summaries,
+        snippet_ids=snippet_ids,
+        region_ids=region_ids,
+        global_names=global_names,
+    )
+    slicer = Slicer(ctx)
+    slicer.result.merge(seed)
+    # Seeded globals (callee workload deps) are resolved at each call site.
+    for site, globs in callee_global_sites or []:
+        for gname in sorted(globs):
+            slicer._trace_global_at(site, gname)
+    for value in values:
+        slicer.trace_value(value)
+    return slicer.result

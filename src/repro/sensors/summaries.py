@@ -1,0 +1,251 @@
+"""Bottom-up function summaries over the preprocessed call graph (§3.3, §3.5).
+
+For each function, three facts are summarized so that callers can be
+analyzed without re-visiting callee bodies:
+
+* **workload** — which of the function's parameters / globals determine its
+  total quantity of work (plus rank / non-fixed poison markers);
+* **ret** — what the return value depends on;
+* **mods** — which globals the function may modify, transitively.
+
+Functions pruned from the call graph (recursive, address-taken) and
+undescribed externs are *never-fixed*: callers treat any call to them as
+disqualifying (§3.5's conservative default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import CallGraph
+from repro.callgraph.preprocess import PreprocessResult
+from repro.dataflow.usedef import UseDefChains, build_use_def_chains
+from repro.ir.function import IRFunction
+from repro.ir.instructions import CallInstr, Ret, Store
+from repro.ir.irmodule import IRModule
+from repro.sensors.extern import RET_RANK, ExternModel, ExternRegistry
+from repro.sensors.model import FunctionSummary, SliceResult
+
+
+@dataclass(slots=True)
+class SummaryTable:
+    """All function summaries plus shared lookups used by the slicer."""
+
+    module: IRModule
+    externs: ExternRegistry
+    summaries: dict[str, FunctionSummary] = field(default_factory=dict)
+    chains: dict[str, UseDefChains] = field(default_factory=dict)
+    #: functions whose address is taken (possible indirect-call targets)
+    pointer_targets: set[str] = field(default_factory=set)
+
+    def ir_function(self, name: str) -> IRFunction | None:
+        return self.module.functions.get(name)
+
+    def extern_model(self, name: str) -> ExternModel | None:
+        if self.module.has_function(name):
+            return None
+        return self.externs.lookup(name)
+
+    def for_call(self, instr: CallInstr) -> FunctionSummary | None:
+        """Summary for a call's callee; None for undescribed externs and
+        indirect calls (= never analyzable)."""
+        if instr.is_indirect:
+            return None
+        name = instr.callee
+        if name in self.summaries:
+            return self.summaries[name]
+        model = self.extern_model(name)
+        if model is None:
+            return None
+        return self._extern_summary(model)
+
+    def _extern_summary(self, model: ExternModel) -> FunctionSummary:
+        summary = FunctionSummary(name=model.name)
+        # Extern workload depends on its workload args (expressed via
+        # synthetic parameter names arg0..argN) — callers map them by index.
+        for idx in model.workload_args:
+            summary.workload.params.add(f"arg{idx}")
+        if model.ret == RET_RANK:
+            summary.ret.rank = True
+        summary.contains_net = model.category == "net"
+        summary.contains_io = model.category == "io"
+        return summary
+
+    def call_mod_set(self, instr: CallInstr) -> set[str]:
+        """Globals a call may modify (drives reaching-def may-defs)."""
+        if instr.is_indirect:
+            # Could land in any address-taken function; if none are known,
+            # fall back to every global.
+            if self.pointer_targets:
+                mods: set[str] = set()
+                for name in self.pointer_targets:
+                    summary = self.summaries.get(name)
+                    mods |= summary.mods if summary is not None else set(self.module.globals)
+                return mods
+            return set(self.module.globals)
+        summary = self.summaries.get(instr.callee)
+        if summary is not None:
+            return set(summary.mods)
+        # Externs cannot write program globals in this closed language.
+        return set()
+
+    def use_def(self, name: str) -> UseDefChains:
+        return self.chains[name]
+
+
+def compute_summaries(
+    module: IRModule,
+    cg: CallGraph,
+    prep: PreprocessResult,
+    externs: ExternRegistry,
+) -> SummaryTable:
+    """Compute summaries in callee-first order (workflow step 2a+2c)."""
+    table = SummaryTable(module=module, externs=externs)
+    table.pointer_targets = set(prep.pointer_targets)
+
+    _compute_mod_sets(table, module, prep)
+    _compute_category_flags(table, module, externs)
+
+    # Use-def chains are built after mod sets exist, since call instructions
+    # act as may-definitions of the globals their callee modifies.
+    for name, fn in module.functions.items():
+        table.chains[name] = build_use_def_chains(
+            fn, set(module.globals), call_mod_sets=table.call_mod_set
+        )
+
+    never_fixed = prep.never_fixed()
+    for name in prep.order:
+        fn = module.functions[name]
+        summary = table.summaries[name]
+        if name in never_fixed:
+            summary.never_fixed = True
+            summary.workload.fail("recursive or address-taken function", nonfixed=True)
+            summary.ret.fail("recursive or address-taken function", nonfixed=True)
+            continue
+        _summarize_workload(table, fn, summary)
+        _summarize_return(table, fn, summary)
+
+    return table
+
+
+def _compute_mod_sets(table: SummaryTable, module: IRModule, prep: PreprocessResult) -> None:
+    """Fixpoint over direct stores + callee mods (cycles converge)."""
+    for name in module.functions:
+        table.summaries[name] = FunctionSummary(name=name)
+
+    direct: dict[str, set[str]] = {}
+    callees: dict[str, set[str]] = {}
+    has_indirect: dict[str, bool] = {}
+    for name, fn in module.functions.items():
+        mods: set[str] = set()
+        callee_names: set[str] = set()
+        indirect = False
+        for instr in fn.instructions():
+            if isinstance(instr, Store) and instr.var in module.globals:
+                mods.add(instr.var)
+            from repro.ir.instructions import StoreElem
+
+            if isinstance(instr, StoreElem) and instr.arr in module.globals:
+                mods.add(instr.arr)
+            if isinstance(instr, CallInstr):
+                if instr.is_indirect:
+                    indirect = True
+                elif module.has_function(instr.callee):
+                    callee_names.add(instr.callee)
+        direct[name] = mods
+        callees[name] = callee_names
+        has_indirect[name] = indirect
+
+    all_globals = set(module.globals)
+    result = {name: set(m) for name, m in direct.items()}
+    for name in module.functions:
+        if has_indirect[name]:
+            # An indirect call may reach any address-taken function.
+            for target in prep.pointer_targets:
+                callees[name].add(target)
+    changed = True
+    while changed:
+        changed = False
+        for name in module.functions:
+            merged = set(result[name])
+            for callee in callees[name]:
+                merged |= result.get(callee, all_globals)
+            if merged != result[name]:
+                result[name] = merged
+                changed = True
+    for name, mods in result.items():
+        table.summaries[name].mods = mods
+
+
+def _compute_category_flags(table: SummaryTable, module: IRModule, externs: ExternRegistry) -> None:
+    """Propagate contains_net / contains_io bottom-up (fixpoint)."""
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in module.functions.items():
+            summary = table.summaries[name]
+            net, io = summary.contains_net, summary.contains_io
+            for instr in fn.instructions():
+                if not isinstance(instr, CallInstr) or instr.is_indirect:
+                    continue
+                callee_summary = table.summaries.get(instr.callee)
+                if callee_summary is not None:
+                    net |= callee_summary.contains_net
+                    io |= callee_summary.contains_io
+                else:
+                    model = externs.lookup(instr.callee)
+                    if model is not None:
+                        net |= model.category == "net"
+                        io |= model.category == "io"
+            if (net, io) != (summary.contains_net, summary.contains_io):
+                summary.contains_net, summary.contains_io = net, io
+                changed = True
+
+
+def _summarize_workload(table: SummaryTable, fn: IRFunction, summary: FunctionSummary) -> None:
+    """Whole-function workload inputs, expressed over params/globals."""
+    from repro.sensors.asttools import subtree_ids
+    from repro.sensors.slicer import run_slice, workload_inputs
+
+    if fn.ast is None or fn.ast.body is None:
+        return
+    body_ids = subtree_ids(fn.ast.body)
+    values, seed, callee_sites = workload_inputs(fn, body_ids, table)
+    result = run_slice(
+        fn,
+        table.use_def(fn.name),
+        table,
+        snippet_ids=body_ids,
+        region_ids=body_ids,
+        global_names=set(table.module.globals),
+        values=values,
+        seed=seed,
+        callee_global_sites=callee_sites,
+    )
+    summary.workload = result
+
+
+def _summarize_return(table: SummaryTable, fn: IRFunction, summary: FunctionSummary) -> None:
+    """What the return value depends on."""
+    from repro.sensors.asttools import subtree_ids
+    from repro.sensors.slicer import run_slice
+
+    if fn.ast is None or fn.ast.body is None:
+        return
+    body_ids = subtree_ids(fn.ast.body)
+    values = [
+        instr.value
+        for instr in fn.instructions()
+        if isinstance(instr, Ret) and instr.value is not None
+    ]
+    result = run_slice(
+        fn,
+        table.use_def(fn.name),
+        table,
+        snippet_ids=body_ids,
+        region_ids=body_ids,
+        global_names=set(table.module.globals),
+        values=values,
+        seed=SliceResult(),
+    )
+    summary.ret = result

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event cluster simulator — the Tianhe-2 stand-in.
+
+The paper evaluates on real hardware; this package provides the synthetic
+equivalent the detection algorithms need: a cluster of nodes with
+configurable CPU/memory performance, OS background noise, a shared network
+with congestion episodes, fault injection (bad node, slow memory, CPU
+contention, network degradation), MPI rendezvous semantics, and an AST
+interpreter that executes each simulated rank against a virtual clock with
+a simulated PMU.
+
+Entry point: :class:`~repro.sim.engine.Simulator` —
+``Simulator(program, machine).run(hooks)``.
+"""
+
+from repro.sim.engine import RankResult, SimResult, Simulator
+from repro.sim.faults import (
+    BadNode,
+    CpuContention,
+    Fault,
+    IoDegradation,
+    NetworkDegradation,
+    SlowMemoryNode,
+)
+from repro.sim.hooks import NullHooks, RuntimeHooks
+from repro.sim.machine import MachineConfig, NodeConfig
+from repro.sim.noise import NoiseConfig
+
+__all__ = [
+    "BadNode",
+    "CpuContention",
+    "Fault",
+    "IoDegradation",
+    "MachineConfig",
+    "NetworkDegradation",
+    "NodeConfig",
+    "NoiseConfig",
+    "NullHooks",
+    "RankResult",
+    "RuntimeHooks",
+    "SimResult",
+    "Simulator",
+    "SlowMemoryNode",
+]

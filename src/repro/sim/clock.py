@@ -1,0 +1,83 @@
+"""Per-rank virtual clock: converting work units to elapsed time.
+
+Work accumulated by the interpreter is converted lazily (at probe / MPI
+boundaries) by integrating the node's effective speed over time.  The
+effective speed at instant ``t`` is::
+
+    cpu_speed * noise_jitter(t) * fault_cpu(t)
+      blended with mem_perf * fault_mem(t) over the memory-bound fraction
+
+Integration proceeds slice by slice (noise jitter slices, fault window
+edges) so episodic faults show up exactly where they are injected, and
+periodic-interrupt loss is added per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.faults import Fault, cpu_factor_at, fault_boundaries, mem_factor_at
+from repro.sim.machine import MachineConfig, NodeConfig
+from repro.sim.noise import NodeNoise
+
+
+@dataclass(slots=True)
+class RankClock:
+    """Virtual clock of one rank."""
+
+    rank: int
+    node: NodeConfig
+    noise: NodeNoise
+    machine: MachineConfig
+    faults: tuple[Fault, ...]
+    now: float = 0.0
+
+    def advance_compute(self, work_units: float) -> tuple[float, float]:
+        """Advance by ``work_units`` of computation; return (start, end)."""
+        start = self.now
+        if work_units <= 0:
+            return start, start
+        t = self.now
+        remaining = work_units
+        slice_us = max(1.0, self.machine.noise.jitter_slice_us)
+        edges = fault_boundaries(self.faults)
+        # Hard cap on integration steps to guarantee termination even with
+        # pathological (zero-speed) configurations.
+        for _ in range(10_000_000):
+            speed = self._effective_speed(t)
+            # Next boundary where speed may change.
+            next_slice = (int(t / slice_us) + 1) * slice_us
+            next_edge = min((e for e in edges if e > t), default=float("inf"))
+            boundary = min(next_slice, next_edge)
+            dt_max = boundary - t
+            dt_needed = remaining / max(speed, 1e-9)
+            if dt_needed <= dt_max:
+                t += dt_needed
+                remaining = 0.0
+                break
+            remaining -= speed * dt_max
+            t = boundary
+        # Periodic interrupt loss stretches the window.
+        t += self.noise.interrupt_loss(start, t)
+        self.now = t
+        return start, t
+
+    def advance_wall(self, duration_us: float) -> tuple[float, float]:
+        """Advance by a fixed wall duration (IO waits, comm completions)."""
+        start = self.now
+        self.now = start + max(0.0, duration_us)
+        return start, self.now
+
+    def wait_until(self, t: float) -> None:
+        if t > self.now:
+            self.now = t
+
+    def _effective_speed(self, t: float) -> float:
+        cpu = self.node.cpu_speed * cpu_factor_at(self.faults, self.node.node_id, t)
+        cpu *= self.noise.speed_multiplier(t)
+        mem = self.node.mem_perf * mem_factor_at(self.faults, self.node.node_id, t)
+        frac = self.machine.mem_fraction
+        # A job split between CPU-bound and memory-bound fractions: total
+        # time = work * (cpu_frac/cpu_speed + mem_frac/mem_speed).
+        denom = (1.0 - frac) / max(cpu, 1e-9) + frac / max(cpu * mem, 1e-9)
+        return 1.0 / denom

@@ -1,0 +1,230 @@
+"""Rendezvous engine: coordinates the per-rank interpreters.
+
+All MPI operations in the mini language are blocking, so the simulation
+reduces to a rendezvous protocol: run every rank until it blocks on an MPI
+request (pure computation advances each rank's private clock
+independently), then resolve matching requests — collectives complete when
+every rank has arrived; point-to-point operations complete when both ends
+have arrived — and resume the participants at the completion time.  If no
+request can be resolved while ranks are still blocked, the program has
+deadlocked and the engine raises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.frontend import ast_nodes as A
+from repro.instrument.rewrite import SensorInfo
+from repro.sim.faults import Fault
+from repro.sim.hooks import NullHooks, RuntimeHooks
+from repro.sim.interp import MpiRequest, RankInterp
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkModel
+
+
+@dataclass(slots=True)
+class RankResult:
+    rank: int
+    finish_time: float
+    total_work: float
+    sensor_records: int
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of one simulated run."""
+
+    ranks: list[RankResult] = field(default_factory=list)
+    total_time: float = 0.0
+    mpi_matches: int = 0
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.ranks)
+
+    def finish_times(self) -> list[float]:
+        return [r.finish_time for r in self.ranks]
+
+
+@dataclass(slots=True)
+class _Blocked:
+    request: MpiRequest
+    gen: object
+
+
+class Simulator:
+    """Runs one program on one machine configuration."""
+
+    def __init__(
+        self,
+        module: A.Module,
+        machine: MachineConfig,
+        faults: tuple[Fault, ...] | list[Fault] = (),
+        sensors: dict[int, SensorInfo] | None = None,
+        entry: str = "main",
+        externs=None,
+    ) -> None:
+        self.module = module
+        self.machine = machine
+        self.faults = tuple(faults)
+        self.sensors = sensors or {}
+        self.entry = entry
+        self.externs = externs
+        self.network = NetworkModel(machine=machine, faults=self.faults)
+
+    def run(self, hooks: RuntimeHooks | None = None) -> SimResult:
+        hooks = hooks or NullHooks()
+        n = self.machine.n_ranks
+        hooks.on_program_start(n)
+        shared_memo: dict[int, bool] = {}
+        interps = [
+            RankInterp(
+                module=self.module,
+                rank=rank,
+                n_ranks=n,
+                machine=self.machine,
+                faults=self.faults,
+                hooks=hooks,
+                sensors=self.sensors,
+                entry=self.entry,
+                shared_has_call=shared_memo,
+                externs=self.externs,
+            )
+            for rank in range(n)
+        ]
+        gens = [interp.run() for interp in interps]
+
+        blocked: dict[int, _Blocked] = {}
+        finished: set[int] = set()
+        matches = 0
+
+        # Ranks whose generator should be advanced (value to send in).
+        runnable: deque[tuple[int, float | None]] = deque((r, None) for r in range(n))
+
+        while runnable or blocked:
+            while runnable:
+                rank, send_value = runnable.popleft()
+                gen = gens[rank]
+                try:
+                    request = gen.send(send_value) if send_value is not None else next(gen)
+                except StopIteration:
+                    finished.add(rank)
+                    continue
+                blocked[rank] = _Blocked(request=request, gen=gen)
+            if not blocked:
+                break
+            resolved = self._resolve(blocked)
+            if not resolved:
+                pending = {r: (b.request.op, b.request.peer) for r, b in blocked.items()}
+                raise SimulationError(
+                    f"MPI deadlock: {len(blocked)} rank(s) blocked, none resolvable: "
+                    f"{dict(list(pending.items())[:8])}"
+                )
+            matches += 1
+            for rank, completion in resolved:
+                del blocked[rank]
+                runnable.append((rank, completion))
+
+        result = SimResult(mpi_matches=matches)
+        for interp in interps:
+            result.ranks.append(
+                RankResult(
+                    rank=interp.rank,
+                    finish_time=interp.clock.now,
+                    total_work=interp.total_work,
+                    sensor_records=interp.sensor_record_count,
+                )
+            )
+        result.total_time = max((r.finish_time for r in result.ranks), default=0.0)
+        return result
+
+    # -- request resolution -------------------------------------------------
+
+    def _resolve(self, blocked: dict[int, _Blocked]) -> list[tuple[int, float]]:
+        """Find one resolvable group and return [(rank, completion)].
+
+        Collectives need all ranks; p2p needs both ends.  One group per call
+        keeps the engine simple; the outer loop re-enters until quiescent.
+        """
+        n = self.machine.n_ranks
+
+        # Collective: every rank blocked on the same collective op.
+        if len(blocked) == n:
+            ops = {b.request.op for b in blocked.values()}
+            if len(ops) == 1 and next(iter(ops)) not in ("send", "recv", "sendrecv"):
+                op = next(iter(ops))
+                arrive = max(b.request.arrive for b in blocked.values())
+                size = max(b.request.size for b in blocked.values())
+                cost = self.network.collective(op, arrive, size, n)
+                completion = arrive + cost
+                return [(rank, completion) for rank in list(blocked)]
+
+        # Point-to-point matching.
+        for rank, entry in blocked.items():
+            req = entry.request
+            if req.op == "send":
+                peer_entry = blocked.get(req.peer)
+                if peer_entry and peer_entry.request.op == "recv" and peer_entry.request.peer == rank:
+                    return self._complete_p2p(rank, req, req.peer, peer_entry.request)
+            elif req.op == "sendrecv":
+                if req.peer == rank:
+                    # Self-exchange completes locally.
+                    return [(rank, req.arrive + self.network.p2p(req.arrive, req.size))]
+                resolved = self._try_sendrecv(rank, blocked)
+                if resolved:
+                    return resolved
+        return []
+
+    def _try_sendrecv(self, rank: int, blocked: dict[int, _Blocked]) -> list[tuple[int, float]]:
+        """Resolve the sendrecv exchange group containing ``rank``.
+
+        ``MPI_Sendrecv(dest, n)`` sends to ``dest`` and receives from
+        whichever rank targets us.  An exchange pattern (pair, ring, or any
+        permutation) can only complete as a unit: each participant needs
+        both its destination and its source posted, and completing one rank
+        alone would strand its neighbours.  We therefore compute the stable
+        set — pending sendrecvs iteratively pruned of members with a
+        missing destination or source — and complete every member of it.
+        Per-rank completion is pinned at the latest arrival among itself,
+        its destination and its source, which propagates skew around the
+        ring exactly like a real exchange.
+        """
+        pending = {
+            r: e.request for r, e in blocked.items() if e.request.op == "sendrecv"
+        }
+        if rank not in pending:
+            return []
+        # Iteratively prune until stable.
+        changed = True
+        while changed:
+            changed = False
+            sources = {req.peer for req in pending.values()}
+            for r in list(pending):
+                req = pending[r]
+                if req.peer not in pending or r not in sources:
+                    del pending[r]
+                    changed = True
+        if rank not in pending:
+            return []
+        source_of: dict[int, int] = {}
+        for r, req in pending.items():
+            source_of[req.peer] = r
+        out: list[tuple[int, float]] = []
+        for r, req in pending.items():
+            src = source_of[r]
+            arrive = max(req.arrive, pending[req.peer].arrive, pending[src].arrive)
+            cost = self.network.p2p(arrive, max(req.size, pending[src].size))
+            out.append((r, arrive + cost))
+        return out
+
+    def _complete_p2p(
+        self, rank_a: int, req_a: MpiRequest, rank_b: int, req_b: MpiRequest
+    ) -> list[tuple[int, float]]:
+        arrive = max(req_a.arrive, req_b.arrive)
+        size = max(req_a.size, req_b.size)
+        cost = self.network.p2p(arrive, size)
+        completion = arrive + cost
+        return [(rank_a, completion), (rank_b, completion)]

@@ -1,0 +1,54 @@
+"""Network cost model for MPI operations.
+
+Point-to-point transfers follow the Hockney model (alpha + beta * size);
+collectives use standard log-P / linear-P expressions.  The whole fabric is
+subject to a time-varying performance factor from injected
+:class:`~repro.sim.faults.NetworkDegradation` episodes — during a
+degradation window every transfer stretches by ``1/factor``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.faults import Fault, net_factor_at
+from repro.sim.machine import MachineConfig
+
+
+@dataclass(slots=True)
+class NetworkModel:
+    machine: MachineConfig
+    faults: tuple[Fault, ...]
+
+    def _stretch(self, t: float) -> float:
+        return 1.0 / max(net_factor_at(self.faults, t), 1e-6)
+
+    def stretch_at(self, t: float) -> float:
+        """Transfer-time multiplier at ``t`` (1.0 on a healthy fabric)."""
+        return self._stretch(t)
+
+    def _p2p_base(self, size: float) -> float:
+        return self.machine.net_alpha + self.machine.net_beta * max(0.0, size)
+
+    def p2p(self, t: float, size: float) -> float:
+        """Cost (µs) of one point-to-point transfer starting at ``t``."""
+        return self._p2p_base(size) * self._stretch(t)
+
+    def collective(self, op: str, t: float, size: float, n_ranks: int) -> float:
+        """Cost (µs) of one collective starting at ``t`` for ``n_ranks``."""
+        base = self._p2p_base(size)
+        logp = max(1.0, math.log2(max(2, n_ranks)))
+        if op == "barrier":
+            cost = self.machine.net_alpha * logp
+        elif op in ("bcast", "reduce"):
+            cost = base * logp
+        elif op in ("allreduce", "allgather"):
+            cost = base * logp * 1.5
+        elif op == "alltoall":
+            # The most network-hungry collective: linear in P, which is why
+            # FT is the paper's showcase for congestion sensitivity (§6.5).
+            cost = self.machine.net_alpha * logp + self.machine.net_beta * size * max(1, n_ranks)
+        else:
+            cost = base
+        return cost * self._stretch(t)

@@ -1,0 +1,85 @@
+"""OS and system background-noise models (§5.1 context).
+
+Two layers, both deterministic given the machine seed:
+
+* **Fine-grained jitter** — per-time-slice multiplicative speed variation
+  modelling cache effects, SMT interference and short OS activity.  This is
+  what makes 10 µs-resolution sensor readings look chaotic (Fig. 12) while
+  1000 µs averages are smooth.
+* **Periodic interrupts** — the classic OS timer tick / daemon activity:
+  every ``period`` µs the node loses ``duration`` µs of compute entirely.
+
+Episode-style disturbances (contention from an injected noiser, network
+congestion, a bad node) are *faults*, not noise — see
+:mod:`repro.sim.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class NoiseConfig:
+    """Background-noise parameters for every node of a machine."""
+
+    #: std-dev of the per-slice lognormal speed jitter (0 disables)
+    jitter_sigma: float = 0.08
+    #: jitter correlation slice length (µs): speed is resampled per slice
+    jitter_slice_us: float = 50.0
+    #: OS interrupt period (µs); 0 disables periodic interrupts
+    interrupt_period_us: float = 4000.0
+    #: compute lost per interrupt (µs)
+    interrupt_duration_us: float = 18.0
+    #: probability per millisecond of a long daemon spike
+    spike_rate_per_ms: float = 0.003
+    #: daemon spike duration (µs)
+    spike_duration_us: float = 300.0
+
+
+class NodeNoise:
+    """Deterministic noise stream for one node.
+
+    The jitter multiplier for slice ``k`` is a hash-seeded lognormal draw,
+    so queries are random-access (no state to replay) and two runs over the
+    same machine see identical noise.
+    """
+
+    def __init__(self, config: NoiseConfig, seed: int, node_id: int) -> None:
+        self.config = config
+        self._seed = np.uint64((seed * 1_000_003 + node_id) & 0xFFFFFFFF)
+
+    def _slice_rng(self, slice_index: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([int(self._seed), int(slice_index) & 0x7FFFFFFFFFFF])
+        )
+
+    def speed_multiplier(self, time_us: float) -> float:
+        """Instantaneous speed multiplier (<=1 mostly) at ``time_us``."""
+        cfg = self.config
+        mult = 1.0
+        if cfg.jitter_sigma > 0:
+            k = int(time_us / cfg.jitter_slice_us)
+            rng = self._slice_rng(k)
+            # Lognormal centred slightly below 1: noise only ever slows.
+            mult *= min(1.0, float(np.exp(-abs(rng.normal(0.0, cfg.jitter_sigma)))))
+        if cfg.spike_rate_per_ms > 0:
+            ms = int(time_us / 1000.0)
+            rng = self._slice_rng(1_000_000_000 + ms)
+            if rng.random() < cfg.spike_rate_per_ms:
+                start = ms * 1000.0 + float(rng.random()) * 1000.0
+                if start <= time_us < start + cfg.spike_duration_us:
+                    mult *= 0.25
+        return mult
+
+    def interrupt_loss(self, start_us: float, end_us: float) -> float:
+        """Total compute time (µs) lost to periodic interrupts in a window."""
+        cfg = self.config
+        if cfg.interrupt_period_us <= 0 or end_us <= start_us:
+            return 0.0
+        first = int(start_us // cfg.interrupt_period_us) + 1
+        last = int(end_us // cfg.interrupt_period_us)
+        n = max(0, last - first + 1)
+        return n * cfg.interrupt_duration_us

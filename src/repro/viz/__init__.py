@@ -1,0 +1,24 @@
+"""Visualizer (workflow step 8, §5.5).
+
+No plotting library is assumed: performance matrices are rendered as
+ASCII heatmaps for the terminal, exported as CSV series, and written as
+PGM images (grayscale; white = degraded, matching the paper's "white
+blocks" metaphor).
+"""
+
+from repro.viz.heatmap import ascii_heatmap, write_pgm
+from repro.viz.matrix import matrix_to_csv, summarize_matrix
+from repro.viz.figures import duration_histogram, interval_histogram, series_to_csv
+from repro.viz.svg import histogram_to_svg, matrix_to_svg
+
+__all__ = [
+    "ascii_heatmap",
+    "duration_histogram",
+    "histogram_to_svg",
+    "interval_histogram",
+    "matrix_to_csv",
+    "matrix_to_svg",
+    "series_to_csv",
+    "summarize_matrix",
+    "write_pgm",
+]

@@ -1,0 +1,113 @@
+"""Figure-data helpers: the histograms and series the paper plots.
+
+These produce the *data* behind Figs. 12 and 15–17; the benches print them
+as rows and optionally export CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: the paper's duration buckets (Fig. 16), in µs
+DURATION_BUCKETS: tuple[tuple[float, float, str], ...] = (
+    (0.0, 100.0, "<100us"),
+    (100.0, 10_000.0, "100us~10ms"),
+    (10_000.0, 1_000_000.0, "10ms~1s"),
+    (1_000_000.0, float("inf"), ">1s"),
+)
+
+#: the paper's interval buckets (Fig. 17), in µs
+INTERVAL_BUCKETS = DURATION_BUCKETS
+
+
+def duration_histogram(durations_us: np.ndarray) -> dict[str, int]:
+    """Bucket sense durations the way Fig. 16 does."""
+    return _bucket(durations_us, DURATION_BUCKETS)
+
+
+def interval_histogram(intervals_us: np.ndarray) -> dict[str, int]:
+    """Bucket inter-sense gaps the way Fig. 17 does."""
+    return _bucket(intervals_us, INTERVAL_BUCKETS)
+
+
+def _bucket(values: np.ndarray, buckets) -> dict[str, int]:
+    values = np.asarray(values)
+    out: dict[str, int] = {}
+    for lo, hi, label in buckets:
+        out[label] = int(((values >= lo) & (values < hi)).sum())
+    return out
+
+
+@dataclass(slots=True)
+class SenseStats:
+    """Coverage and frequency of senses (Fig. 15 definitions)."""
+
+    sense_time_us: float
+    total_time_us: float
+    sense_count: int
+
+    @property
+    def coverage(self) -> float:
+        """sense-time / total-time."""
+        if self.total_time_us <= 0:
+            return 0.0
+        return self.sense_time_us / self.total_time_us
+
+    @property
+    def frequency_mhz(self) -> float:
+        """sense-count / total-time, in senses per µs (= MHz)."""
+        if self.total_time_us <= 0:
+            return 0.0
+        return self.sense_count / self.total_time_us
+
+
+def sense_stats(starts: np.ndarray, ends: np.ndarray, total_time_us: float) -> SenseStats:
+    """Compute coverage/frequency from per-sense start/end times.
+
+    Overlaps (nested probes never overlap by construction, but merged
+    multi-sensor streams can) are merged before summing sense-time.
+    """
+    starts = np.asarray(starts)
+    ends = np.asarray(ends)
+    if starts.size == 0:
+        return SenseStats(0.0, total_time_us, 0)
+    order = np.argsort(starts)
+    starts, ends = starts[order], ends[order]
+    merged = 0.0
+    cur_start, cur_end = starts[0], ends[0]
+    for s, e in zip(starts[1:], ends[1:]):
+        if s > cur_end:
+            merged += cur_end - cur_start
+            cur_start, cur_end = s, e
+        else:
+            cur_end = max(cur_end, e)
+    merged += cur_end - cur_start
+    return SenseStats(sense_time_us=float(merged), total_time_us=total_time_us, sense_count=int(starts.size))
+
+
+def intervals_between_senses(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Gaps between consecutive senses on one rank."""
+    starts = np.asarray(starts)
+    ends = np.asarray(ends)
+    if starts.size < 2:
+        return np.asarray([])
+    order = np.argsort(starts)
+    starts, ends = starts[order], ends[order]
+    gaps = starts[1:] - ends[:-1]
+    return gaps[gaps > 0]
+
+
+def series_to_csv(path: str, columns: dict[str, np.ndarray]) -> None:
+    """Write named series as CSV columns (ragged series are padded)."""
+    names = list(columns)
+    arrays = [np.asarray(columns[n]) for n in names]
+    length = max((a.size for a in arrays), default=0)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(",".join(names) + "\n")
+        for i in range(length):
+            row = []
+            for arr in arrays:
+                row.append(f"{arr[i]:.6g}" if i < arr.size else "")
+            fh.write(",".join(row) + "\n")

@@ -1,0 +1,74 @@
+"""Heatmap rendering of performance matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dark-to-light ramp: best performance renders dark (the paper's deep
+#: blue), degraded performance renders light ("white blocks").
+_RAMP = "@%#*+=-:. "
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    max_rows: int = 32,
+    max_cols: int = 100,
+    lo: float = 0.5,
+    hi: float = 1.0,
+) -> str:
+    """Render a (ranks, windows) performance matrix as terminal art.
+
+    Values at ``hi`` (best) map to the densest glyph, values at or below
+    ``lo`` to a space; NaN renders as ``'?'``.  Large matrices are
+    downsampled by block-averaging.
+    """
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    ds = _downsample(matrix, max_rows, max_cols)
+    span = max(hi - lo, 1e-9)
+    lines = []
+    for row in ds:
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append("?")
+                continue
+            frac = (value - lo) / span
+            idx = int((1.0 - min(max(frac, 0.0), 1.0)) * (len(_RAMP) - 1))
+            chars.append(_RAMP[idx])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def _downsample(matrix: np.ndarray, max_rows: int, max_cols: int) -> np.ndarray:
+    rows, cols = matrix.shape
+    r_step = max(1, int(np.ceil(rows / max_rows)))
+    c_step = max(1, int(np.ceil(cols / max_cols)))
+    out_rows = int(np.ceil(rows / r_step))
+    out_cols = int(np.ceil(cols / c_step))
+    out = np.full((out_rows, out_cols), np.nan)
+    for i in range(out_rows):
+        for j in range(out_cols):
+            block = matrix[i * r_step : (i + 1) * r_step, j * c_step : (j + 1) * c_step]
+            if np.isfinite(block).any():
+                out[i, j] = np.nanmean(block)
+    return out
+
+
+def write_pgm(matrix: np.ndarray, path: str, lo: float = 0.5, hi: float = 1.0) -> None:
+    """Write the matrix as a binary PGM image.
+
+    Bright pixels are *degraded* cells (the paper's white blocks); NaN
+    cells render mid-gray.
+    """
+    span = max(hi - lo, 1e-9)
+    clipped = np.nan_to_num((matrix - lo) / span, nan=0.5)
+    gray = np.where(
+        np.isfinite(matrix),
+        (255 * (1.0 - np.clip(clipped, 0.0, 1.0))).astype(np.uint8),
+        np.uint8(128),
+    )
+    header = f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode()
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(gray.tobytes())

@@ -1,0 +1,31 @@
+"""Matrix export and summary helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def matrix_to_csv(matrix: np.ndarray, path: str, window_us: float = 200_000.0) -> None:
+    """Write a performance matrix as CSV: header = window start seconds."""
+    n_ranks, n_windows = matrix.shape
+    with open(path, "w", encoding="utf-8") as fh:
+        header = ",".join(f"{w * window_us / 1e6:.3f}" for w in range(n_windows))
+        fh.write("rank," + header + "\n")
+        for rank in range(n_ranks):
+            row = ",".join(
+                f"{v:.4f}" if np.isfinite(v) else "" for v in matrix[rank]
+            )
+            fh.write(f"{rank},{row}\n")
+
+
+def summarize_matrix(matrix: np.ndarray) -> dict[str, float]:
+    """Scalar facts about a performance matrix (for reports and tests)."""
+    finite = matrix[np.isfinite(matrix)]
+    if finite.size == 0:
+        return {"cells": 0, "mean": float("nan"), "min": float("nan"), "low_fraction": 0.0}
+    return {
+        "cells": int(finite.size),
+        "mean": float(finite.mean()),
+        "min": float(finite.min()),
+        "low_fraction": float((finite < 0.7).mean()),
+    }

@@ -1,0 +1,109 @@
+"""Dependency-free SVG rendering of performance matrices and histograms.
+
+The PGM/CSV exports cover machine consumption; these produce figures a
+human can open in a browser — the closest equivalent to the paper's
+matplotlib output available without a plotting library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _perf_color(value: float, lo: float = 0.5, hi: float = 1.0) -> str:
+    """Map performance to the paper's palette: deep blue = best,
+    white = degraded to half."""
+    if not np.isfinite(value):
+        return "#d0d0d0"
+    frac = (value - lo) / max(hi - lo, 1e-9)
+    frac = min(max(frac, 0.0), 1.0)
+    # white (1,1,1) -> deep blue (0.05, 0.15, 0.55)
+    r = int(255 * (1.0 - 0.95 * frac))
+    g = int(255 * (1.0 - 0.85 * frac))
+    b = int(255 * (1.0 - 0.45 * frac))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def matrix_to_svg(
+    matrix: np.ndarray,
+    path: str,
+    window_us: float = 200_000.0,
+    title: str = "",
+    cell: int = 6,
+    lo: float = 0.5,
+    hi: float = 1.0,
+) -> None:
+    """Write a (ranks x windows) performance matrix as an SVG heat map."""
+    n_ranks, n_windows = matrix.shape
+    margin_left, margin_top, margin_bottom = 60, 30 if title else 10, 34
+    width = margin_left + n_windows * cell + 10
+    height = margin_top + n_ranks * cell + margin_bottom
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="sans-serif" font-size="10">'
+    ]
+    if title:
+        parts.append(f'<text x="{margin_left}" y="18" font-size="12">{_esc(title)}</text>')
+    for r in range(n_ranks):
+        y = margin_top + r * cell
+        for w in range(n_windows):
+            x = margin_left + w * cell
+            color = _perf_color(float(matrix[r, w]), lo, hi)
+            parts.append(f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" fill="{color}"/>')
+    # Axes labels.
+    parts.append(
+        f'<text x="8" y="{margin_top + n_ranks * cell / 2}" '
+        f'transform="rotate(-90 8 {margin_top + n_ranks * cell / 2})">Process ID</text>'
+    )
+    seconds = n_windows * window_us / 1e6
+    parts.append(
+        f'<text x="{margin_left}" y="{height - 18}">0 s</text>'
+        f'<text x="{margin_left + n_windows * cell - 30}" y="{height - 18}">{seconds:.1f} s</text>'
+        f'<text x="{margin_left + n_windows * cell / 2 - 40}" y="{height - 6}">Time progress</text>'
+    )
+    parts.append("</svg>")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(parts))
+
+
+def histogram_to_svg(
+    buckets: dict[str, int],
+    path: str,
+    title: str = "",
+    log_scale: bool = True,
+    bar_width: int = 70,
+    height: int = 220,
+) -> None:
+    """Write a labelled bar chart (the Fig. 16/17 presentation)."""
+    margin = 40
+    n = len(buckets)
+    width = margin * 2 + n * (bar_width + 14)
+    values = list(buckets.values())
+    top = max(values + [1])
+    scale_top = np.log10(top + 1) if log_scale else float(top)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height + 70}" '
+        f'font-family="sans-serif" font-size="11">'
+    ]
+    if title:
+        parts.append(f'<text x="{margin}" y="18" font-size="13">{_esc(title)}</text>')
+    base_y = height + 30
+    for i, (label, value) in enumerate(buckets.items()):
+        x = margin + i * (bar_width + 14)
+        magnitude = np.log10(value + 1) if log_scale else float(value)
+        bar_h = int(height * magnitude / max(scale_top, 1e-9))
+        y = base_y - bar_h
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="{bar_width}" height="{bar_h}" fill="#2b4b8c"/>'
+        )
+        parts.append(f'<text x="{x}" y="{base_y + 16}">{_esc(label)}</text>')
+        parts.append(f'<text x="{x}" y="{max(y - 4, 12)}">{value}</text>')
+    parts.append("</svg>")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(parts))
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

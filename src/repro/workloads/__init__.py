@@ -1,0 +1,23 @@
+"""Workload analogues of the paper's evaluation programs (§6.1).
+
+Each module defines a scaled-down analogue, written in the mini language,
+of one of the eight programs the paper evaluates: five NPB kernels (BT, CG,
+FT, LU, SP) and three applications (AMG, LULESH, RAxML).  The analogues
+keep the structural features Table 1 and Figs. 16–17 measure:
+
+* CG — sparse mat-vec iterations with dot-product allreduces and neighbor
+  exchanges (few sensors, very regular — the bad-node case study).
+* FT — FFT steps dominated by ``MPI_Alltoall`` (the network case study).
+* BT / SP — multi-sweep solvers with many small fixed computation loops
+  (the high sensor-count programs).
+* LU — SSOR sweeps with point-to-point pipelining.
+* AMG — adaptive mesh refinement: loop bounds depend on runtime data, so
+  almost nothing is fixed (lowest coverage in Table 1).
+* LULESH — a fixed-work hydro step plus one large *non-fixed* snippet in
+  the main loop (the long-interval program of Fig. 17).
+* RAxML — fixed likelihood kernels under adaptive optimization loops.
+"""
+
+from repro.workloads.base import Workload, all_workloads, get_workload
+
+__all__ = ["Workload", "all_workloads", "get_workload"]

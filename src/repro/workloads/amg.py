@@ -1,0 +1,85 @@
+"""AMG analogue: adaptive multigrid — workload changes at runtime.
+
+The paper singles AMG out: its adaptive mesh refinement changes loop
+bounds at runtime, so only a tiny fraction of execution is covered by
+v-sensors (0.18% coverage in Table 1) and the sensors cluster in the setup
+phase.  The analogue reproduces that: a fixed-work setup phase, then a
+solve phase whose loop bounds derive from data-dependent level sizes
+(array reads poison the dependency slice, so nothing in the solve phase is
+a sensor).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 8 * scale
+    levels = 5
+    return f"""
+global int NITER = {niter};
+global int LEVELS = {levels};
+global int level_size[{levels}];
+
+void setup_grid() {{
+    int i;
+    for (i = 0; i < 50; i = i + 1) compute_units(12);
+    MPI_Allreduce(4);
+}}
+
+void refine() {{
+    int l; int prev;
+    level_size[0] = 64 + rand() % 64;
+    for (l = 1; l < LEVELS; l = l + 1) {{
+        prev = level_size[l - 1];
+        level_size[l] = prev / 2 + rand() % 8;
+    }}
+}}
+
+void smooth(int l) {{
+    int i; int n;
+    n = level_size[l];
+    for (i = 0; i < n; i = i + 1) compute_units(4);
+}}
+
+void restrict_residual(int l) {{
+    int i; int n;
+    n = level_size[l];
+    for (i = 0; i < n; i = i + 1) compute_units(3);
+    MPI_Allreduce(n / 16 + 1);
+}}
+
+void vcycle() {{
+    int l;
+    for (l = 0; l < LEVELS - 1; l = l + 1) {{
+        smooth(l);
+        restrict_residual(l);
+    }}
+    for (l = LEVELS - 2; l >= 0; l = l - 1) {{
+        smooth(l);
+    }}
+}}
+
+int main() {{
+    int it;
+    setup_grid();
+    for (it = 0; it < NITER; it = it + 1) {{
+        refine();
+        vcycle();
+        MPI_Barrier();
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+AMG = register(
+    Workload(
+        name="AMG",
+        source_fn=_source,
+        default_scale=1,
+        description="algebraic multigrid: adaptive refinement defeats most sensors",
+    )
+)

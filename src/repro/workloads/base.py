@@ -1,0 +1,65 @@
+"""Workload plumbing: the descriptor and the registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.machine import MachineConfig
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """One evaluation program."""
+
+    name: str
+    #: generates mini-language source text for a given scale factor
+    source_fn: Callable[[int], str]
+    #: default scale (≈ how many main-loop iterations / work multiplier)
+    default_scale: int = 1
+    description: str = ""
+
+    def source(self, scale: int | None = None) -> str:
+        return self.source_fn(scale if scale is not None else self.default_scale)
+
+    def kloc(self, scale: int | None = None) -> float:
+        """Source size in KLoC (of the analogue, not the original)."""
+        text = self.source(scale)
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        return len(lines) / 1000.0
+
+    def machine(self, n_ranks: int = 64, **kwargs) -> MachineConfig:
+        defaults = dict(n_ranks=n_ranks, ranks_per_node=8)
+        defaults.update(kwargs)
+        return MachineConfig(**defaults)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def all_workloads() -> dict[str, Workload]:
+    """All registered analogues, keyed by name (import side effects)."""
+    # Import lazily to avoid cycles; each module registers itself.
+    from repro.workloads import (  # noqa: F401
+        amg,
+        chkpt,
+        lulesh,
+        micro,
+        npb_bt,
+        npb_cg,
+        npb_ft,
+        npb_lu,
+        npb_sp,
+        raxml,
+    )
+
+    return dict(_REGISTRY)
+
+
+def get_workload(name: str) -> Workload:
+    return all_workloads()[name.upper() if name.upper() in all_workloads() else name]

@@ -1,0 +1,55 @@
+"""CHKPT analogue: a stencil code with periodic checkpointing.
+
+Not one of the paper's eight programs — an extension workload exercising
+the third sensor component: IO.  Each outer step runs a fixed stencil,
+then every step writes a fixed-size checkpoint slab with ``fwrite``; the
+write is an IO v-sensor, so a filesystem slowdown (the classic
+checkpoint-storm interference) shows up as a band in the *IO* performance
+matrix while computation and network stay clean.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 15 * scale
+    cells = 20
+    slab = 512
+    return f"""
+global int NITER = {niter};
+
+void stencil() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(8);
+}}
+
+void write_checkpoint() {{
+    fwrite({slab});
+}}
+
+void reduce_dt() {{
+    MPI_Allreduce(2);
+}}
+
+int main() {{
+    int step;
+    for (step = 0; step < NITER; step = step + 1) {{
+        stencil();
+        reduce_dt();
+        write_checkpoint();
+    }}
+    return 0;
+}}
+"""
+
+
+CHKPT = register(
+    Workload(
+        name="CHKPT",
+        source_fn=_source,
+        default_scale=1,
+        description="stencil + periodic fixed-size checkpoints (IO sensors)",
+    )
+)

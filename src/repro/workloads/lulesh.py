@@ -1,0 +1,78 @@
+"""LULESH analogue: shock hydrodynamics with one big non-fixed snippet.
+
+The paper notes LULESH's main loop contains a large non-fixed snippet,
+producing long sensor-free intervals (Fig. 17) while enough fixed kernels
+remain for detection to work.  The analogue has fixed force/position
+kernels plus a data-dependent time-step search (the non-fixed part) and an
+``MPI_Allreduce`` for the global dt.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 10 * scale
+    elems = 30
+    return f"""
+global int NITER = {niter};
+global int ELEMS = {elems};
+global float dt = 1.0;
+
+void calc_force() {{
+    int i;
+    for (i = 0; i < ELEMS; i = i + 1) compute_units(10);
+}}
+
+void calc_positions() {{
+    int i;
+    for (i = 0; i < ELEMS; i = i + 1) compute_units(6);
+}}
+
+void calc_constraints() {{
+    int trials; int budget;
+    budget = 40 + rand() % 200;
+    trials = 0;
+    while (trials < budget) {{
+        compute_units(8);
+        trials = trials + 1;
+    }}
+}}
+
+void timestep_reduce() {{
+    MPI_Allreduce(1);
+}}
+
+void boundary_exchange() {{
+    int rank; int size; int peer;
+    rank = MPI_Comm_rank();
+    size = MPI_Comm_size();
+    peer = rank + 1;
+    if (peer >= size) peer = 0;
+    MPI_Sendrecv(peer, 40);
+}}
+
+int main() {{
+    int it;
+    for (it = 0; it < NITER; it = it + 1) {{
+        calc_force();
+        boundary_exchange();
+        calc_positions();
+        calc_constraints();
+        timestep_reduce();
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+LULESH = register(
+    Workload(
+        name="LULESH",
+        source_fn=_source,
+        default_scale=1,
+        description="shock hydro: fixed kernels + a large data-dependent snippet",
+    )
+)

@@ -1,0 +1,47 @@
+"""Micro workloads: FWQ-style kernels for calibration and the smoothing study.
+
+``fwq_program`` is a pure fixed-work-quanta loop — the embedded equivalent
+of the external FWQ benchmark the paper contrasts against (§1, approach 4),
+and the workload behind the Fig. 12 smoothing demonstration (a ~10 µs
+sensor executed back-to-back).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def fwq_source(iterations: int = 20_000, quantum_units: float = 10.0) -> str:
+    """A fixed-work-quanta kernel: one sensor of ~``quantum_units`` work.
+
+    The quantum lives in its own function so the call site is a v-sensor
+    of the repetition loop (straight-line arithmetic alone is not a
+    snippet candidate).
+    """
+    return f"""
+global int N = {iterations};
+void quantum() {{
+    compute_units({quantum_units});
+}}
+int main() {{
+    int i;
+    for (i = 0; i < N; i = i + 1) {{
+        quantum();
+    }}
+    return 0;
+}}
+"""
+
+
+def _source(scale: int) -> str:
+    return fwq_source(iterations=2000 * scale, quantum_units=10.0)
+
+
+FWQ = register(
+    Workload(
+        name="FWQ",
+        source_fn=_source,
+        default_scale=1,
+        description="fixed-work-quanta microkernel (smoothing / calibration)",
+    )
+)

@@ -1,0 +1,100 @@
+"""BT analogue: block-tridiagonal solver with many small fixed kernels.
+
+BT is the paper's high-sensor-count program (87 instrumented computation
+sensors): three directional sweeps per step, each composed of several
+distinct fixed-work loops (flux computation, forward elimination,
+back-substitution), plus face exchanges.  The analogue reproduces that
+shape with three sweep functions of several loops each.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _sweep(axis: str, cells: int) -> str:
+    return f"""
+void {axis}_flux() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) {{
+        compute_units(8);
+    }}
+    for (i = 0; i < {cells}; i = i + 1) {{
+        compute_units(5);
+    }}
+}}
+
+void {axis}_forward() {{
+    int i; int j;
+    for (i = 0; i < {cells}; i = i + 1) {{
+        for (j = 0; j < 5; j = j + 1) compute_units(4);
+    }}
+}}
+
+void {axis}_backsub() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) {{
+        compute_units(6);
+    }}
+}}
+
+void {axis}_solve() {{
+    {axis}_flux();
+    {axis}_forward();
+    {axis}_backsub();
+}}
+"""
+
+
+def _source(scale: int) -> str:
+    niter = 10 * scale
+    cells = 20
+    sweeps = "".join(_sweep(axis, cells) for axis in ("x", "y", "z"))
+    return f"""
+global int NITER = {niter};
+{sweeps}
+void compute_rhs() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(10);
+    for (i = 0; i < {cells}; i = i + 1) compute_units(7);
+    for (i = 0; i < {cells}; i = i + 1) compute_units(7);
+}}
+
+void exchange_faces() {{
+    int rank; int size; int peer;
+    rank = MPI_Comm_rank();
+    size = MPI_Comm_size();
+    peer = rank + 1;
+    if (peer >= size) peer = 0;
+    MPI_Sendrecv(peer, 48);
+}}
+
+void add_update() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(3);
+}}
+
+int main() {{
+    int it;
+    for (it = 0; it < NITER; it = it + 1) {{
+        compute_rhs();
+        x_solve();
+        y_solve();
+        z_solve();
+        exchange_faces();
+        add_update();
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+BT = register(
+    Workload(
+        name="BT",
+        source_fn=_source,
+        default_scale=1,
+        description="block-tridiagonal solver: many small fixed sweep kernels",
+    )
+)

@@ -1,0 +1,110 @@
+"""CG analogue: conjugate gradient with allreduce dot products.
+
+Structure mirrors NPB-CG: an outer iteration loop; per iteration a sparse
+matrix-vector product (per-rank work fixed by the static row partition),
+two dot products reduced with ``MPI_Allreduce``, vector updates, and a
+halo exchange with the neighbouring rank.  The solver kernels are
+statically partitioned (fixed workload — CG is the paper's bad-node case
+study, Fig. 21); a data-dependent preconditioner consumes a large share of
+each iteration without being a sensor, keeping sense-time coverage low —
+CG has the lowest coverage of the NPB kernels in Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 15 * scale
+    rows = 40
+    nnz_per_row = 6
+    return f"""
+global int NITER = {niter};
+global int ROWS = {rows};
+global float x[{rows}];
+global float r[{rows}];
+global float p[{rows}];
+global float q[{rows}];
+
+void spmv() {{
+    int i;
+    for (i = 0; i < ROWS; i = i + 1) {{
+        compute_units({nnz_per_row * 2});
+        q[i] = p[i] * 0.5 + 1.0;
+    }}
+}}
+
+float dot(float seed) {{
+    int i; float acc = 0.0;
+    for (i = 0; i < ROWS; i = i + 1) {{
+        acc = acc + p[i] * q[i];
+        compute_units(2);
+    }}
+    MPI_Allreduce(1);
+    return acc + seed;
+}}
+
+void axpy(float alpha) {{
+    int i;
+    for (i = 0; i < ROWS; i = i + 1) {{
+        x[i] = x[i] + alpha * p[i];
+        r[i] = r[i] - alpha * q[i];
+        compute_units(3);
+    }}
+}}
+
+void halo_exchange() {{
+    int rank; int size; int peer;
+    rank = MPI_Comm_rank();
+    size = MPI_Comm_size();
+    peer = rank + 1;
+    if (peer >= size) peer = 0;
+    MPI_Sendrecv(peer, 16);
+}}
+
+void precondition() {{
+    int trials; int budget;
+    budget = 200 + rand() % 200;
+    trials = 0;
+    while (trials < budget) {{
+        compute_units(10);
+        trials = trials + 1;
+    }}
+}}
+
+int main() {{
+    int it; int i;
+    float alpha; float beta; float rho;
+    for (i = 0; i < ROWS; i = i + 1) {{
+        x[i] = 1.0;
+        p[i] = 1.0;
+        r[i] = 1.0;
+    }}
+    for (it = 0; it < NITER; it = it + 1) {{
+        spmv();
+        precondition();
+        rho = dot(0.1);
+        alpha = rho / (rho + 1.0);
+        axpy(alpha);
+        beta = dot(0.2);
+        halo_exchange();
+        for (i = 0; i < ROWS; i = i + 1) {{
+            p[i] = r[i] + beta * p[i];
+            compute_units(2);
+        }}
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+CG = register(
+    Workload(
+        name="CG",
+        source_fn=_source,
+        default_scale=1,
+        description="conjugate gradient: fixed spmv/dot/axpy kernels + allreduce",
+    )
+)

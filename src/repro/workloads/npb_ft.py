@@ -1,0 +1,76 @@
+"""FT analogue: FFT steps dominated by ``MPI_Alltoall``.
+
+Structure mirrors NPB-FT: per iteration a local 1-D FFT pass over the
+rank's pencil (fixed work), a global transpose via ``MPI_Alltoall`` (large
+payload — the operation that makes FT the paper's congestion showcase,
+Figs. 1 and 22), and an evolve step (fixed pointwise work).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 12 * scale
+    pencil = 24
+    return f"""
+global int NITER = {niter};
+global int PENCIL = {pencil};
+global float data[{pencil}];
+
+void fft_local() {{
+    int stage; int i;
+    for (stage = 0; stage < 3; stage = stage + 1) {{
+        for (i = 0; i < PENCIL; i = i + 1) {{
+            data[i] = data[i] * 0.99 + 0.01;
+            compute_units(5);
+        }}
+    }}
+}}
+
+void transpose() {{
+    MPI_Alltoall(8192);
+}}
+
+void evolve() {{
+    int i;
+    for (i = 0; i < PENCIL; i = i + 1) {{
+        data[i] = data[i] + 1.0;
+        compute_units(4);
+    }}
+}}
+
+void checksum() {{
+    int i; float acc = 0.0;
+    for (i = 0; i < PENCIL; i = i + 1) {{
+        acc = acc + data[i];
+        compute_units(1);
+    }}
+    MPI_Allreduce(2);
+}}
+
+int main() {{
+    int it; int i;
+    for (i = 0; i < PENCIL; i = i + 1) data[i] = 1.0;
+    for (it = 0; it < NITER; it = it + 1) {{
+        fft_local();
+        transpose();
+        fft_local();
+        evolve();
+        checksum();
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+FT = register(
+    Workload(
+        name="FT",
+        source_fn=_source,
+        default_scale=1,
+        description="3-D FFT: fixed local FFT passes + heavy MPI_Alltoall transposes",
+    )
+)

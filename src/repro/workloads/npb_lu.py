@@ -1,0 +1,88 @@
+"""LU analogue: SSOR sweeps with point-to-point pipelining.
+
+NPB-LU performs lower/upper triangular sweeps whose wavefront is pipelined
+with point-to-point messages between neighbouring ranks; the per-rank
+per-sweep work is fixed by the static grid partition.  The analogue keeps
+the two sweeps (several fixed loops each) and a pipelined neighbour
+exchange per iteration.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 12 * scale
+    cells = 24
+    return f"""
+global int NITER = {niter};
+
+void jacld() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(9);
+}}
+
+void blts() {{
+    int i; int j;
+    for (i = 0; i < {cells}; i = i + 1) {{
+        for (j = 0; j < 4; j = j + 1) compute_units(3);
+    }}
+}}
+
+void jacu() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(9);
+}}
+
+void buts() {{
+    int i; int j;
+    for (i = 0; i < {cells}; i = i + 1) {{
+        for (j = 0; j < 4; j = j + 1) compute_units(3);
+    }}
+}}
+
+void pipeline_exchange() {{
+    int rank; int size;
+    rank = MPI_Comm_rank();
+    size = MPI_Comm_size();
+    if (rank % 2 == 0) {{
+        if (rank + 1 < size) MPI_Send(rank + 1, 24);
+        if (rank + 1 < size) MPI_Recv(rank + 1, 24);
+    }} else {{
+        MPI_Recv(rank - 1, 24);
+        MPI_Send(rank - 1, 24);
+    }}
+}}
+
+void rhs_update() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(5);
+    for (i = 0; i < {cells}; i = i + 1) compute_units(5);
+}}
+
+int main() {{
+    int it;
+    for (it = 0; it < NITER; it = it + 1) {{
+        jacld();
+        blts();
+        pipeline_exchange();
+        jacu();
+        buts();
+        rhs_update();
+        MPI_Allreduce(5);
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+LU = register(
+    Workload(
+        name="LU",
+        source_fn=_source,
+        default_scale=1,
+        description="SSOR solver: fixed triangular sweeps + pipelined p2p",
+    )
+)

@@ -1,0 +1,80 @@
+"""SP analogue: scalar-pentadiagonal solver.
+
+Like BT but with scalar (cheaper) per-line solves and a few collective
+reductions; in Table 1 SP shows many sensors with very low instrumentation
+overhead (0.22%).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 12 * scale
+    cells = 18
+    return f"""
+global int NITER = {niter};
+
+void txinvr() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(6);
+}}
+
+void x_solve() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(7);
+    for (i = 0; i < {cells}; i = i + 1) compute_units(4);
+}}
+
+void y_solve() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(7);
+    for (i = 0; i < {cells}; i = i + 1) compute_units(4);
+}}
+
+void z_solve() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(7);
+    for (i = 0; i < {cells}; i = i + 1) compute_units(4);
+}}
+
+void tzetar() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) compute_units(5);
+}}
+
+void exchange() {{
+    int rank; int size; int peer;
+    rank = MPI_Comm_rank();
+    size = MPI_Comm_size();
+    peer = rank + 1;
+    if (peer >= size) peer = 0;
+    MPI_Sendrecv(peer, 32);
+}}
+
+int main() {{
+    int it;
+    for (it = 0; it < NITER; it = it + 1) {{
+        txinvr();
+        x_solve();
+        y_solve();
+        z_solve();
+        tzetar();
+        exchange();
+        MPI_Allreduce(3);
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+SP = register(
+    Workload(
+        name="SP",
+        source_fn=_source,
+        default_scale=1,
+        description="scalar-pentadiagonal solver: fixed sweeps + reductions",
+    )
+)

@@ -1,0 +1,80 @@
+"""RAxML analogue: phylogenetic likelihood kernels under adaptive search.
+
+RAxML evaluates fixed-size likelihood kernels (per-site loops over the
+alignment, fixed once the tree size is set) inside adaptive tree-search and
+branch-length-optimization loops (convergence-driven, not fixed).  Table 1
+shows many sensors (277 Comp + 24 Net) with moderate coverage.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+def _source(scale: int) -> str:
+    niter = 8 * scale
+    sites = 28
+    return f"""
+global int NITER = {niter};
+global int SITES = {sites};
+
+void newview() {{
+    int i;
+    for (i = 0; i < SITES; i = i + 1) compute_units(8);
+}}
+
+float evaluate() {{
+    int i; float lh = 0.0;
+    for (i = 0; i < SITES; i = i + 1) {{
+        lh = lh + 0.01;
+        compute_units(5);
+    }}
+    MPI_Allreduce(1);
+    return lh;
+}}
+
+void optimize_branch(int it) {{
+    int steps; int budget;
+    budget = 3 + (it * 7) % 6;
+    steps = 0;
+    while (steps < budget) {{
+        newview();
+        evaluate();
+        steps = steps + 1;
+    }}
+}}
+
+void rearrange() {{
+    int i;
+    for (i = 0; i < 12; i = i + 1) {{
+        newview();
+        compute_units(6);
+    }}
+}}
+
+void broadcast_best() {{
+    MPI_Bcast(0, 8);
+}}
+
+int main() {{
+    int it;
+    for (it = 0; it < NITER; it = it + 1) {{
+        rearrange();
+        optimize_branch(it);
+        evaluate();
+        broadcast_best();
+    }}
+    printf("done");
+    return 0;
+}}
+"""
+
+
+RAXML = register(
+    Workload(
+        name="RAXML",
+        source_fn=_source,
+        default_scale=1,
+        description="phylogenetics: fixed likelihood kernels in adaptive loops",
+    )
+)

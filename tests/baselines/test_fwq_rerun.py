@@ -1,0 +1,47 @@
+"""FWQ and rerun baseline tests."""
+
+from repro.baselines import rerun_study, run_fwq_probe
+from repro.sim import CpuContention, MachineConfig
+from repro.sim.noise import NoiseConfig
+
+
+def quiet(n_ranks=1):
+    return MachineConfig(
+        n_ranks=n_ranks,
+        ranks_per_node=1,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+
+
+def test_fwq_steady_on_quiet_machine():
+    obs = run_fwq_probe(quiet(), iterations=2000)
+    assert obs.variance_ratio() < 1.05
+
+
+def test_fwq_detects_contention():
+    machine = quiet()
+    total = run_fwq_probe(machine, iterations=2000).total_time
+    faults = (CpuContention(node_ids=(0,), t0=total * 0.3, t1=total * 0.7, cpu_factor=0.4),)
+    obs = run_fwq_probe(machine, faults=faults, iterations=2000)
+    assert obs.variance_ratio() > 1.5
+
+
+def test_fwq_observation_lengths_match():
+    obs = run_fwq_probe(quiet(), iterations=500)
+    assert len(obs.times) == len(obs.starts) == 500
+
+
+def test_rerun_study_collects_all_submissions():
+    src = "int main() { int i; for (i = 0; i < 5; i = i + 1) { compute_units(200); MPI_Barrier(); } return 0; }"
+    study = rerun_study(src, n_ranks=4, submissions=6, congestion_probability=0.0, ranks_per_node=2)
+    assert len(study.times_us) == 6
+    assert study.max_over_min >= 1.0
+
+
+def test_rerun_congestion_widens_spread():
+    src = "int main() { int i; for (i = 0; i < 8; i = i + 1) { compute_units(100); MPI_Alltoall(64); } return 0; }"
+    calm = rerun_study(src, n_ranks=4, submissions=8, congestion_probability=0.0, ranks_per_node=2)
+    stormy = rerun_study(
+        src, n_ranks=4, submissions=8, congestion_probability=1.0, congestion_factor=0.15, ranks_per_node=2
+    )
+    assert stormy.max_over_min > calm.max_over_min

@@ -1,0 +1,69 @@
+"""mpiP-baseline tests (Figs. 18-19 behaviour)."""
+
+import pytest
+
+from repro.baselines import MpiProfiler
+from repro.frontend.parser import parse_source
+from repro.sim import CpuContention, MachineConfig, Simulator
+from repro.sim.noise import NoiseConfig
+
+
+SRC = """
+int main() {
+    int i;
+    for (i = 0; i < 20; i = i + 1) {
+        compute_units(500);
+        MPI_Allreduce(32);
+    }
+    return 0;
+}
+"""
+
+
+def machine(n_ranks=4):
+    return MachineConfig(
+        n_ranks=n_ranks,
+        ranks_per_node=2,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+
+
+def run_profiled(faults=()):
+    profiler = MpiProfiler()
+    Simulator(parse_source(SRC), machine(), faults=tuple(faults)).run(profiler)
+    return profiler.profile()
+
+
+def test_profile_splits_comp_and_mpi():
+    profile = run_profiled()
+    for rank in range(4):
+        assert profile.mpi_time[rank] > 0
+        assert profile.comp_time()[rank] > 0
+        assert profile.total_time[rank] == pytest.approx(
+            profile.mpi_time[rank] + profile.comp_time()[rank]
+        )
+
+
+def test_call_counts():
+    profile = run_profiled()
+    assert profile.call_counts["MPI_Allreduce"] == 20 * 4
+
+
+def test_rows_format():
+    profile = run_profiled()
+    rows = profile.rows()
+    assert len(rows) == 4
+    rank, comp_s, mpi_s = rows[0]
+    assert rank == 0 and comp_s > 0 and mpi_s > 0
+
+
+def test_noise_in_comm_wait_shows_as_mpi_time():
+    """The paper's key observation: CPU noise injected on some nodes shows
+    up mostly as *MPI* time on the other ranks (they wait longer), which
+    misleads profile readers toward the network."""
+    clean = run_profiled()
+    noisy = run_profiled(faults=[CpuContention(node_ids=(0,), t0=0.0, t1=1e9, cpu_factor=0.3)])
+    # Unaffected ranks (2, 3 on node 1) wait for the slowed ranks inside
+    # MPI: their MPI time grows while their computation stays put.
+    assert noisy.mpi_time[3] > clean.mpi_time[3] * 1.5
+    assert noisy.comp_time()[3] == pytest.approx(clean.comp_time()[3], rel=0.2)

@@ -1,0 +1,86 @@
+"""Tracer-baseline tests (§6.4 data-volume comparison)."""
+
+from repro.baselines import EventTracer
+from repro.baselines.tracer import EVENT_BYTES
+from repro.frontend.parser import parse_source
+from repro.sim import MachineConfig, Simulator
+from repro.sim.noise import NoiseConfig
+
+
+SRC = """
+int main() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) {
+        compute_units(100);
+        MPI_Allreduce(8);
+    }
+    printf("x");
+    return 0;
+}
+"""
+
+
+def run_traced(keep=False, n_ranks=4):
+    tracer = EventTracer(keep_events=keep)
+    machine = MachineConfig(
+        n_ranks=n_ranks,
+        ranks_per_node=2,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+    Simulator(parse_source(SRC), machine).run(tracer)
+    return tracer
+
+
+def test_event_count():
+    tracer = run_traced()
+    # 10 allreduce + 1 printf + the main() enter/exit pair, per rank.
+    assert tracer.event_count == 12 * 4
+
+
+def test_function_tracing_can_be_disabled():
+    tracer = EventTracer(trace_functions=False)
+    machine = MachineConfig(
+        n_ranks=4,
+        ranks_per_node=2,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+    Simulator(parse_source(SRC), machine).run(tracer)
+    assert tracer.event_count == 11 * 4
+
+
+def test_function_events_traced():
+    src = "void f() { compute_units(1); } int main() { f(); f(); return 0; }"
+    tracer = EventTracer(keep_events=True)
+    machine = MachineConfig(n_ranks=1, ranks_per_node=1)
+    Simulator(parse_source(src), machine).run(tracer)
+    func_events = [e for e in tracer.events if e.op == "func:f"]
+    assert len(func_events) == 2
+    assert all(e.t_end >= e.t_begin for e in func_events)
+
+
+def test_bytes_proportional_to_events():
+    tracer = run_traced()
+    assert tracer.stats().bytes == tracer.event_count * EVENT_BYTES
+
+
+def test_keep_events_stores_details():
+    tracer = run_traced(keep=True)
+    assert len(tracer.events) == tracer.event_count
+    ops = {e.op for e in tracer.events}
+    assert "MPI_Allreduce" in ops and "printf" in ops
+
+
+def test_counting_mode_stores_nothing():
+    tracer = run_traced(keep=False)
+    assert tracer.events == []
+
+
+def test_trace_volume_grows_with_ranks():
+    small = run_traced(n_ranks=2).stats()
+    large = run_traced(n_ranks=8).stats()
+    assert large.bytes > small.bytes
+
+
+def test_rate_computation():
+    stats = run_traced().stats()
+    assert stats.rate_kb_per_s_per_rank() > 0

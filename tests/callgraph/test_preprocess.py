@@ -1,0 +1,79 @@
+"""Call-graph preprocessing tests (Fig. 10)."""
+
+import networkx as nx
+
+from repro.callgraph import build_call_graph, preprocess_call_graph
+from repro.frontend.parser import parse_source
+from repro.ir import lower_module
+
+
+def prep_of(src):
+    cg = build_call_graph(lower_module(parse_source(src)))
+    return cg, preprocess_call_graph(cg)
+
+
+def test_self_recursion_removed():
+    _, prep = prep_of("int f(int n) { if (n) f(n - 1); return n; } int main() { f(3); return 0; }")
+    assert "f" in prep.recursive_functions
+    assert not prep.pruned.has_edge("f", "f")
+    assert ("f", "f") in prep.removed_edges
+
+
+def test_mutual_recursion_removed():
+    src = """
+    int odd(int n) { if (n) return even(n - 1); return 0; }
+    int even(int n) { if (n) return odd(n - 1); return 1; }
+    int main() { even(4); return 0; }
+    """
+    _, prep = prep_of(src)
+    assert prep.recursive_functions == {"odd", "even"}
+    assert not prep.pruned.has_edge("odd", "even")
+    assert not prep.pruned.has_edge("even", "odd")
+
+
+def test_pruned_graph_is_acyclic():
+    src = """
+    int a(int n) { return b(n); }
+    int b(int n) { if (n) return a(n - 1); return 0; }
+    int main() { a(2); b(2); return 0; }
+    """
+    _, prep = prep_of(src)
+    assert nx.is_directed_acyclic_graph(prep.pruned)
+
+
+def test_topological_order_callee_first():
+    src = "void c() { } void b() { c(); } void a() { b(); } int main() { a(); return 0; }"
+    _, prep = prep_of(src)
+    order = prep.order
+    assert order.index("c") < order.index("b") < order.index("a") < order.index("main")
+
+
+def test_pointer_targets_marked():
+    src = "void f() { } int main() { funcptr p; p = &f; p(); return 0; }"
+    _, prep = prep_of(src)
+    assert prep.pointer_targets == {"f"}
+    assert "f" in prep.never_fixed()
+
+
+def test_non_recursive_untouched():
+    src = "void f() { } int main() { f(); return 0; }"
+    cg, prep = prep_of(src)
+    assert prep.recursive_functions == set()
+    assert prep.pruned.number_of_edges() == cg.graph.number_of_edges()
+
+
+def test_never_fixed_combines_both():
+    src = """
+    int r(int n) { if (n) r(n - 1); return 0; }
+    void t() { }
+    int main() { funcptr p; p = &t; r(1); p(); return 0; }
+    """
+    _, prep = prep_of(src)
+    assert prep.never_fixed() == {"r", "t"}
+
+
+def test_order_contains_all_functions(paper_module):
+    cg = build_call_graph(lower_module(paper_module))
+    prep = preprocess_call_graph(cg)
+    assert set(prep.order) == {"foo", "main"}
+    assert prep.order.index("foo") < prep.order.index("main")

@@ -1,0 +1,97 @@
+"""Dominator-tree tests."""
+
+from repro.cfa import compute_dominators, postorder, reverse_postorder
+from repro.frontend.parser import parse_source
+from repro.ir import lower_module
+
+
+def fn_of(src, name="main"):
+    return lower_module(parse_source(src)).function(name)
+
+
+def test_entry_dominates_everything(paper_module):
+    for fn in lower_module(paper_module).functions.values():
+        dom = compute_dominators(fn)
+        for block in fn.blocks:
+            assert dom.dominates(fn.entry, block)
+
+
+def test_entry_is_own_idom():
+    fn = fn_of("int main() { return 0; }")
+    dom = compute_dominators(fn)
+    assert dom.idom[fn.entry] is fn.entry
+
+
+def test_if_branches_dominated_by_condition_block():
+    fn = fn_of("int main() { int x; if (x) x = 1; else x = 2; return 0; }")
+    dom = compute_dominators(fn)
+    then_block = next(b for b in fn.blocks if "if.then" in b.label)
+    else_block = next(b for b in fn.blocks if "if.else" in b.label)
+    merge = next(b for b in fn.blocks if "if.end" in b.label)
+    assert dom.dominates(fn.entry, then_block)
+    # Neither branch dominates the merge.
+    assert not dom.dominates(then_block, merge)
+    assert not dom.dominates(else_block, merge)
+
+
+def test_loop_header_dominates_body():
+    fn = fn_of("int main() { int i; for (i = 0; i < 9; i = i + 1) { i = i; } return 0; }")
+    dom = compute_dominators(fn)
+    header = next(b for b in fn.blocks if "for.header" in b.label)
+    body = next(b for b in fn.blocks if "for.body" in b.label)
+    step = next(b for b in fn.blocks if "for.step" in b.label)
+    assert dom.strictly_dominates(header, body)
+    assert dom.strictly_dominates(header, step)
+
+
+def test_nested_loop_header_chain():
+    fn = fn_of(
+        """
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) { j = j; }
+            }
+            return 0;
+        }
+        """
+    )
+    dom = compute_dominators(fn)
+    headers = [b for b in fn.blocks if "for.header" in b.label]
+    assert len(headers) == 2
+    outer = min(headers, key=lambda b: b.label)
+    inner = max(headers, key=lambda b: b.label)
+    assert dom.dominates(outer, inner)
+    assert not dom.dominates(inner, outer)
+
+
+def test_dominators_of_lists_chain():
+    fn = fn_of("int main() { int i; for (i = 0; i < 3; i = i + 1) { } return 0; }")
+    dom = compute_dominators(fn)
+    body = next(b for b in fn.blocks if "for.body" in b.label)
+    chain = dom.dominators_of(body)
+    assert chain[0] is body
+    assert chain[-1] is fn.entry
+
+
+def test_postorder_visits_all_blocks(paper_module):
+    for fn in lower_module(paper_module).functions.values():
+        po = postorder(fn)
+        assert set(po) == set(fn.blocks)
+
+
+def test_reverse_postorder_starts_at_entry(paper_module):
+    for fn in lower_module(paper_module).functions.values():
+        rpo = reverse_postorder(fn)
+        assert rpo[0] is fn.entry
+
+
+def test_rpo_predecessor_property():
+    """In an acyclic region, all preds appear before a block in RPO."""
+    fn = fn_of("int main() { int x; if (x) x = 1; else x = 2; return 0; }")
+    rpo = reverse_postorder(fn)
+    index = {b: i for i, b in enumerate(rpo)}
+    for block in fn.blocks:
+        for pred in block.preds:
+            # No back edges in this CFG, so property must hold strictly.
+            assert index[pred] < index[block]

@@ -1,0 +1,148 @@
+"""Natural-loop detection tests."""
+
+from repro.cfa import find_natural_loops
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import parse_source
+from repro.ir import lower_module
+
+
+def loops_of(src, name="main"):
+    fn = lower_module(parse_source(src)).function(name)
+    return fn, find_natural_loops(fn)
+
+
+def test_single_for_loop_found():
+    fn, info = loops_of("int main() { int i; for (i = 0; i < 3; i = i + 1) { } return 0; }")
+    assert len(info.loops) == 1
+    assert "for.header" in info.loops[0].header.label
+
+
+def test_while_loop_found():
+    fn, info = loops_of("int main() { int x; while (x) x = x - 1; return 0; }")
+    assert len(info.loops) == 1
+
+
+def test_no_loops_in_straight_line():
+    fn, info = loops_of("int main() { int x; x = 1; return x; }")
+    assert info.loops == []
+
+
+def test_nested_loops_depths():
+    fn, info = loops_of(
+        """
+        int main() {
+            int i; int j; int k;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) {
+                    for (k = 0; k < 3; k = k + 1) { }
+                }
+            }
+            return 0;
+        }
+        """
+    )
+    depths = sorted(l.depth for l in info.loops)
+    assert depths == [0, 1, 2]
+
+
+def test_sibling_loops_same_depth():
+    fn, info = loops_of(
+        """
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) { }
+            for (j = 0; j < 3; j = j + 1) { }
+            return 0;
+        }
+        """
+    )
+    assert [l.depth for l in info.loops] == [0, 0]
+    assert all(l.parent is None for l in info.loops)
+
+
+def test_nesting_parent_child_links():
+    fn, info = loops_of(
+        """
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) { }
+            }
+            return 0;
+        }
+        """
+    )
+    inner = next(l for l in info.loops if l.depth == 1)
+    outer = next(l for l in info.loops if l.depth == 0)
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert inner.ancestors() == [outer]
+
+
+def test_loop_blocks_subset_of_parent():
+    fn, info = loops_of(
+        """
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) { j = j; }
+                i = i;
+            }
+            return 0;
+        }
+        """
+    )
+    inner = next(l for l in info.loops if l.depth == 1)
+    outer = next(l for l in info.loops if l.depth == 0)
+    assert inner.blocks < outer.blocks
+
+
+def test_ast_loop_back_link():
+    src = "int main() { int i; for (i = 0; i < 3; i = i + 1) { } return 0; }"
+    fn, info = loops_of(src)
+    ast_loop = info.loops[0].ast_loop
+    assert isinstance(ast_loop, A.ForStmt)
+
+
+def test_loop_of_ast_lookup():
+    src = "int main() { int i; while (i) i = i - 1; return 0; }"
+    module = parse_source(src)
+    fn = lower_module(module).function("main")
+    info = find_natural_loops(fn)
+    while_stmt = module.function("main").body.stmts[1]
+    assert isinstance(while_stmt, A.WhileStmt)
+    assert info.loop_of_ast(while_stmt) is info.loops[0]
+
+
+def test_innermost_containing():
+    fn, info = loops_of(
+        """
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) { j = j; }
+            }
+            return 0;
+        }
+        """
+    )
+    inner = next(l for l in info.loops if l.depth == 1)
+    body = next(b for b in inner.blocks if "body" in b.label and b is not inner.header)
+    assert info.innermost_containing(body) is inner
+
+
+def test_back_edges_recorded():
+    fn, info = loops_of("int main() { int i; for (i = 0; i < 3; i = i + 1) { } return 0; }")
+    loop = info.loops[0]
+    assert len(loop.back_edges) == 1
+    tail, head = loop.back_edges[0]
+    assert head is loop.header
+    assert tail in loop.blocks
+
+
+def test_paper_example_loop_count(paper_module):
+    module = lower_module(paper_module)
+    foo_info = find_natural_loops(module.function("foo"))
+    main_info = find_natural_loops(module.function("main"))
+    assert len(foo_info.loops) == 2   # i loop, j loop
+    assert len(main_info.loops) == 3  # n loop, two k loops

@@ -1,0 +1,136 @@
+"""CFA on hand-built CFGs — shapes the frontend cannot produce.
+
+The dominator and natural-loop algorithms are library-grade components;
+these tests exercise them on irregular graphs (multiple back edges into
+one header, diamonds into loops, nested while-true structures) built
+directly from IR blocks.
+"""
+
+import pytest
+
+from repro.cfa import compute_dominators, find_natural_loops
+from repro.ir import BasicBlock, Branch, ConstInt, IRFunction, Jump, Ret
+
+
+def make_fn(n_blocks):
+    fn = IRFunction(name="synthetic", params=[], ret_type="void")
+    blocks = [fn.new_block(f"b{i}") for i in range(n_blocks)]
+    return fn, blocks
+
+
+def jump(src, dst):
+    src.append(Jump(ast_node=None, target=dst))
+
+
+def branch(src, a, b):
+    src.append(Branch(ast_node=None, cond=ConstInt(1), true_block=a, false_block=b))
+
+
+def ret(block):
+    block.append(Ret(ast_node=None, value=None))
+
+
+def test_diamond_dominators():
+    fn, (entry, left, right, merge) = make_fn(4)
+    branch(entry, left, right)
+    jump(left, merge)
+    jump(right, merge)
+    ret(merge)
+    fn.seal()
+    dom = compute_dominators(fn)
+    assert dom.idom[merge] is entry
+    assert dom.strictly_dominates(entry, left)
+    assert not dom.dominates(left, merge)
+
+
+def test_two_back_edges_one_header():
+    """A loop with two latches (continue-like structure)."""
+    fn, (entry, header, body_a, body_b, exit_block) = make_fn(5)
+    jump(entry, header)
+    branch(header, body_a, exit_block)
+    branch(body_a, header, body_b)  # early back edge
+    jump(body_b, header)            # second back edge
+    ret(exit_block)
+    fn.seal()
+    info = find_natural_loops(fn)
+    assert len(info.loops) == 1
+    loop = info.loops[0]
+    assert len(loop.back_edges) == 2
+    assert loop.blocks == {header, body_a, body_b}
+
+
+def test_nested_loops_shared_exit():
+    fn, (entry, outer_h, inner_h, inner_b, outer_l, exit_block) = make_fn(6)
+    jump(entry, outer_h)
+    branch(outer_h, inner_h, exit_block)
+    branch(inner_h, inner_b, outer_l)
+    jump(inner_b, inner_h)
+    jump(outer_l, outer_h)
+    ret(exit_block)
+    fn.seal()
+    info = find_natural_loops(fn)
+    assert len(info.loops) == 2
+    inner = info.by_header[inner_h]
+    outer = info.by_header[outer_h]
+    assert inner.parent is outer
+    assert inner.depth == 1 and outer.depth == 0
+    assert inner.blocks < outer.blocks
+
+
+def test_while_true_self_loop():
+    fn, (entry, spin) = make_fn(2)
+    jump(entry, spin)
+    jump(spin, spin)
+    fn.seal()
+    info = find_natural_loops(fn)
+    assert len(info.loops) == 1
+    assert info.loops[0].blocks == {spin}
+    assert info.loops[0].back_edges == [(spin, spin)]
+
+
+def test_irreducible_like_region_no_false_loop():
+    """A forward-only diamond chain has no loops at all."""
+    fn, (entry, a, b, c, d) = make_fn(5)
+    branch(entry, a, b)
+    jump(a, c)
+    jump(b, c)
+    jump(c, d)
+    ret(d)
+    fn.seal()
+    assert find_natural_loops(fn).loops == []
+
+
+def test_unreachable_block_dropped_by_seal():
+    fn, (entry, reachable, orphan) = make_fn(3)
+    jump(entry, reachable)
+    ret(reachable)
+    ret(orphan)
+    fn.seal()
+    assert orphan not in fn.blocks
+    dom = compute_dominators(fn)
+    assert set(dom.idom) == {entry, reachable}
+
+
+def test_loop_with_two_exits():
+    fn, (entry, header, body, exit_a, exit_b) = make_fn(5)
+    jump(entry, header)
+    branch(header, body, exit_a)
+    branch(body, header, exit_b)
+    ret(exit_a)
+    ret(exit_b)
+    fn.seal()
+    info = find_natural_loops(fn)
+    assert len(info.loops) == 1
+    assert info.loops[0].blocks == {header, body}
+
+
+def test_deep_linear_chain_dominance():
+    fn, blocks = make_fn(30)
+    for a, b in zip(blocks, blocks[1:]):
+        jump(a, b)
+    ret(blocks[-1])
+    fn.seal()
+    dom = compute_dominators(fn)
+    for i, block in enumerate(blocks):
+        for later in blocks[i:]:
+            assert dom.dominates(block, later)

@@ -1,0 +1,120 @@
+"""Shared fixtures: canonical sources from the paper and tiny machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import parse_source
+from repro.sim import MachineConfig
+
+
+# The paper's Figure 4 / Figure 8 running example, translated to the mini
+# language.  Loop/call labels L1..L5 / C1..C3 follow the paper.
+PAPER_EXAMPLE = """
+global int GLBV = 40;
+global int count = 0;
+int foo(int x, int y) {
+    int i; int j; int value = 0;
+    for (i = 0; i < x; i = i + 1) {
+        value = value + y;
+        for (j = 0; j < 10; j = j + 1) value = value - 1;
+    }
+    if (x > GLBV) value = value - x * y;
+    return value;
+}
+int main() {
+    int n; int k;
+    for (n = 0; n < 100; n = n + 1) {
+        for (k = 0; k < 10; k = k + 1) {
+            foo(n, k);
+            foo(k, n);
+        }
+        for (k = 0; k < 10; k = k + 1) count = count + 1;
+        MPI_Barrier();
+    }
+    return 0;
+}
+"""
+
+# Figure 6: three subloops of an outer loop with different variance.
+FIG6_EXAMPLE = """
+global int count = 0;
+int main() {
+    int n; int k;
+    for (n = 0; n < 100; n = n + 1) {
+        for (k = 0; k < 10; k = k + 1) count = count + 1;
+        for (k = 0; k < n; k = k + 1) count = count + 1;
+        for (k = 0; k < 10; k = k + 1) { if (k < n) count = count + 1; }
+    }
+    return 0;
+}
+"""
+
+# Figure 9: rank-dependent vs rank-invariant workload.
+FIG9_EXAMPLE = """
+global int count = 0;
+int main() {
+    int n; int k; int rank;
+    rank = MPI_Comm_rank();
+    for (n = 0; n < 100; n = n + 1) {
+        for (k = 0; k < 10; k = k + 1) { if (rank % 2) count = count + 1; }
+        for (k = 0; k < 10; k = k + 1) count = count + 1;
+    }
+    return 0;
+}
+"""
+
+SIMPLE_MPI_PROGRAM = """
+global int NITER = 10;
+void kernel() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) compute_units(20);
+}
+int main() {
+    int n;
+    for (n = 0; n < NITER; n = n + 1) {
+        kernel();
+        MPI_Allreduce(16);
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def paper_module():
+    return parse_source(PAPER_EXAMPLE)
+
+
+@pytest.fixture
+def fig6_module():
+    return parse_source(FIG6_EXAMPLE)
+
+
+@pytest.fixture
+def fig9_module():
+    return parse_source(FIG9_EXAMPLE)
+
+
+@pytest.fixture
+def simple_module():
+    return parse_source(SIMPLE_MPI_PROGRAM)
+
+
+@pytest.fixture
+def small_machine():
+    """4 ranks on 2 nodes, noise disabled for determinism-sensitive tests."""
+    from repro.sim.noise import NoiseConfig
+
+    return MachineConfig(
+        n_ranks=4,
+        ranks_per_node=2,
+        noise=NoiseConfig(
+            jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0
+        ),
+    )
+
+
+@pytest.fixture
+def noisy_machine():
+    return MachineConfig(n_ranks=4, ranks_per_node=2)

@@ -1,0 +1,72 @@
+"""Traversal-helper tests for ast_nodes."""
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import parse_source
+
+
+def body_of(src):
+    return parse_source(src).function("main").body
+
+
+def test_walk_stmts_covers_nesting():
+    body = body_of("int main() { for (;;) { if (1) { x = 1; } } }")
+    kinds = [type(s).__name__ for s in A.walk_stmts(body)]
+    assert "ForStmt" in kinds and "IfStmt" in kinds and "Assign" in kinds
+
+
+def test_child_stmts_of_for_includes_init_step_body():
+    body = body_of("int main() { for (i = 0; i < 3; i = i + 1) { x = 1; } }")
+    loop = body.stmts[0]
+    children = A.child_stmts(loop)
+    assert loop.init in children and loop.step in children and loop.body in children
+
+
+def test_child_stmts_of_if_without_else():
+    body = body_of("int main() { if (1) { x = 1; } }")
+    assert len(A.child_stmts(body.stmts[0])) == 1
+
+
+def test_walk_exprs_statement_scope_only():
+    body = body_of("int main() { if (a + b) { x = c; } }")
+    if_stmt = body.stmts[0]
+    exprs = list(A.walk_exprs(if_stmt))
+    names = {e.name for e in exprs if isinstance(e, A.VarRef)}
+    # Only the condition's names; the nested assignment is a nested stmt.
+    assert names == {"a", "b"}
+
+
+def test_walk_all_exprs_includes_nested():
+    body = body_of("int main() { if (a) { x = c + d; } }")
+    names = {e.name for e in A.walk_all_exprs(body) if isinstance(e, A.VarRef)}
+    assert {"a", "c", "d"} <= names
+
+
+def test_collect_calls_nested_args():
+    body = body_of("int main() { f(g(1), h(2)); }")
+    calls = A.collect_calls(body)
+    assert sorted(c.callee for c in calls) == ["f", "g", "h"]
+
+
+def test_collect_loops():
+    body = body_of("int main() { for (;;) { while (1) { x = 1; } } }")
+    loops = A.collect_loops(body)
+    assert len(loops) == 2
+
+
+def test_module_global_names():
+    mod = parse_source("global int a; global float b[3]; void main() { }")
+    assert mod.global_names() == {"a", "b"}
+
+
+def test_child_exprs_of_return_and_exprstmt():
+    body = body_of("int main() { return a + 1; }")
+    ret = body.stmts[0]
+    assert len(A.child_exprs(ret)) == 1
+
+
+def test_walk_exprs_on_bare_expression():
+    body = body_of("int main() { x = a * (b + c); }")
+    assign = body.stmts[0]
+    exprs = list(A.walk_exprs(assign))
+    binops = [e for e in exprs if isinstance(e, A.BinOp)]
+    assert len(binops) == 2

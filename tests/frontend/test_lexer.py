@@ -1,0 +1,194 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind as K
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is K.EOF
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is K.INT_LIT
+        assert toks[0].text == "42"
+
+    def test_float_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind is K.FLOAT_LIT
+        assert toks[0].text == "3.25"
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e6")[0].kind is K.FLOAT_LIT
+        assert tokenize("2.5e-3")[0].kind is K.FLOAT_LIT
+        assert tokenize("7E+2")[0].kind is K.FLOAT_LIT
+
+    def test_integer_then_dot_method_like(self):
+        # "1." without following digit stays an int followed by error char
+        with pytest.raises(LexError):
+            tokenize("1.x")
+
+    def test_identifier(self):
+        toks = tokenize("foo_bar2")
+        assert toks[0].kind is K.IDENT
+        assert toks[0].text == "foo_bar2"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("_private")[0].kind is K.IDENT
+
+    @pytest.mark.parametrize(
+        "kw,kind",
+        [
+            ("int", K.KW_INT),
+            ("float", K.KW_FLOAT),
+            ("void", K.KW_VOID),
+            ("funcptr", K.KW_FUNCPTR),
+            ("global", K.KW_GLOBAL),
+            ("if", K.KW_IF),
+            ("else", K.KW_ELSE),
+            ("for", K.KW_FOR),
+            ("while", K.KW_WHILE),
+            ("return", K.KW_RETURN),
+            ("break", K.KW_BREAK),
+            ("continue", K.KW_CONTINUE),
+        ],
+    )
+    def test_keywords(self, kw, kind):
+        assert tokenize(kw)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("iffy")[0].kind is K.IDENT
+        assert tokenize("format")[0].kind is K.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,kind",
+        [
+            ("<=", K.LE),
+            (">=", K.GE),
+            ("==", K.EQ),
+            ("!=", K.NE),
+            ("&&", K.AND),
+            ("||", K.OR),
+        ],
+    )
+    def test_two_char_operators(self, op, kind):
+        assert tokenize(op)[0].kind is kind
+
+    @pytest.mark.parametrize(
+        "op,kind",
+        [
+            ("+", K.PLUS),
+            ("-", K.MINUS),
+            ("*", K.STAR),
+            ("/", K.SLASH),
+            ("%", K.PERCENT),
+            ("<", K.LT),
+            (">", K.GT),
+            ("=", K.ASSIGN),
+            ("!", K.NOT),
+            ("&", K.AMP),
+            ("(", K.LPAREN),
+            (")", K.RPAREN),
+            ("{", K.LBRACE),
+            ("}", K.RBRACE),
+            ("[", K.LBRACKET),
+            ("]", K.RBRACKET),
+            (";", K.SEMI),
+            (",", K.COMMA),
+        ],
+    )
+    def test_one_char_operators(self, op, kind):
+        assert tokenize(op)[0].kind is kind
+
+    def test_le_not_split(self):
+        assert kinds("a<=b")[:3] == [K.IDENT, K.LE, K.IDENT]
+
+    def test_ampersand_vs_and(self):
+        assert tokenize("&&")[0].kind is K.AND
+        assert tokenize("&")[0].kind is K.AMP
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert texts("a /* line1\nline2\n*/ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError, match="unterminated block comment"):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc") == ["a", "b", "c"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tok = tokenize('"hello"')[0]
+        assert tok.kind is K.STRING_LIT
+        assert tok.text == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb"')[0].text == "a\nb"
+        assert tokenize(r'"a\tb"')[0].text == "a\tb"
+        assert tokenize(r'"a\"b"')[0].text == 'a"b'
+        assert tokenize(r'"a\\b"')[0].text == "a\\b"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"oops')
+
+    def test_string_with_newline_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_bad_escape_raises(self):
+        with pytest.raises(LexError, match="bad escape"):
+            tokenize(r'"\q"')
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.col) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.col) == (2, 3)
+
+    def test_filename_propagates(self):
+        tok = tokenize("x", filename="prog.c")[0]
+        assert tok.loc.filename == "prog.c"
+
+    def test_error_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ab\n  $")
+        assert exc.value.line == 2
+        assert exc.value.col == 3
+
+
+class TestErrorCases:
+    @pytest.mark.parametrize("ch", ["$", "#", "@", "~", "?"])
+    def test_unexpected_character(self, ch):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize(ch)
+
+    def test_error_message_includes_position(self):
+        with pytest.raises(LexError, match="1:1"):
+            tokenize("$")

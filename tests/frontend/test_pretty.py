@@ -1,0 +1,93 @@
+"""Pretty-printer tests: round-trip stability and structure preservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import format_module, parse_source
+from tests.conftest import FIG6_EXAMPLE, FIG9_EXAMPLE, PAPER_EXAMPLE, SIMPLE_MPI_PROGRAM
+
+
+@pytest.mark.parametrize(
+    "source",
+    [PAPER_EXAMPLE, FIG6_EXAMPLE, FIG9_EXAMPLE, SIMPLE_MPI_PROGRAM],
+    ids=["paper", "fig6", "fig9", "simple"],
+)
+def test_round_trip_is_stable(source):
+    once = format_module(parse_source(source))
+    twice = format_module(parse_source(once))
+    assert once == twice
+
+
+def test_parenthesization_preserved():
+    src = "int main() { int x; x = (1 + 2) * 3; return x; }"
+    out = format_module(parse_source(src))
+    assert "(1 + 2) * 3" in out
+
+
+def test_no_spurious_parens():
+    src = "int main() { int x; x = 1 + 2 * 3; return x; }"
+    out = format_module(parse_source(src))
+    assert "1 + 2 * 3" in out
+
+
+def test_string_escaping_round_trip():
+    src = 'int main() { printf("a\\nb\\"c"); return 0; }'
+    out = format_module(parse_source(src))
+    reparsed = parse_source(out)
+    call = reparsed.function("main").body.stmts[0].expr
+    assert call.args[0].value == 'a\nb"c'
+
+
+def test_global_array_rendered():
+    out = format_module(parse_source("global float a[7];"))
+    assert "global float a[7];" in out
+
+
+def test_funcptr_and_addrof_rendered():
+    src = "int main() { funcptr fp; fp = &main; fp(); return 0; }"
+    out = format_module(parse_source(src))
+    assert "&main" in out and "funcptr fp;" in out
+
+
+def test_else_branch_rendered():
+    src = "int main() { int x; if (x) { x = 1; } else { x = 2; } return x; }"
+    out = format_module(parse_source(src))
+    assert "else {" in out
+
+
+def test_while_and_control_statements():
+    src = "int main() { int x; while (x < 3) { x = x + 1; continue; } return 0; }"
+    out = format_module(parse_source(src))
+    assert "while (x < 3)" in out and "continue;" in out
+
+
+# -- property-based round trip over generated expressions -------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=999).map(str),
+        _names,
+    )
+
+    def extend(children):
+        ops = st.sampled_from(["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"])
+        return st.one_of(
+            st.tuples(children, ops, children).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            children.map(lambda e: f"(-{e})"),
+            children.map(lambda e: f"(!{e})"),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@given(expr=_exprs())
+@settings(max_examples=120, deadline=None)
+def test_expression_round_trip_property(expr):
+    """Parsing the printer's output yields the same printed form again."""
+    src = f"int main() {{ int a; int b; int c; int x; int y; x = {expr}; return 0; }}"
+    once = format_module(parse_source(src))
+    twice = format_module(parse_source(once))
+    assert once == twice

@@ -1,0 +1,123 @@
+"""Tick/Tock rewriting tests (§4, workflow steps 4-5)."""
+
+import pytest
+
+from repro.frontend import ast_nodes as A, format_module, parse_source
+from repro.instrument import instrument_module, select_sensors
+from repro.instrument.rewrite import TICK, TOCK
+from repro.sensors import identify_vsensors
+
+
+def instrumented(src, max_depth=3):
+    mod = parse_source(src)
+    result = identify_vsensors(mod)
+    plan = select_sensors(result, max_depth=max_depth)
+    return instrument_module(mod, plan.selected), plan
+
+
+SRC = """
+global int c = 0;
+void kernel() {
+    int i;
+    for (i = 0; i < 6; i = i + 1) c = c + 1;
+}
+int main() {
+    int n;
+    for (n = 0; n < 5; n = n + 1) {
+        kernel();
+        MPI_Barrier();
+    }
+    return 0;
+}
+"""
+
+
+def test_probe_pairs_inserted():
+    prog, plan = instrumented(SRC)
+    text = prog.source
+    assert text.count(TICK) == len(plan.selected)
+    assert text.count(TOCK) == len(plan.selected)
+
+
+def test_probe_order_tick_before_tock():
+    prog, _ = instrumented(SRC)
+    text = prog.source
+    assert text.index(TICK) < text.index(TOCK)
+
+
+def test_instrumented_source_reparses():
+    prog, _ = instrumented(SRC)
+    reparsed = parse_source(prog.source)
+    assert reparsed.has_function("main")
+
+
+def test_sensor_registry_matches_selection():
+    prog, plan = instrumented(SRC)
+    assert set(prog.sensors) == {s.sensor_id for s in plan.selected}
+
+
+def test_sensor_info_fields():
+    prog, plan = instrumented(SRC)
+    for sensor in plan.selected:
+        info = prog.sensors[sensor.sensor_id]
+        assert info.function == sensor.function
+        assert info.sensor_type is sensor.sensor_type
+        assert info.line == sensor.loc.line
+
+
+def test_probe_wraps_carrier_statement():
+    prog, _ = instrumented(SRC)
+    main = prog.module.function("main")
+    loop_body = main.body.stmts[1].body
+    texts = [type(s).__name__ for s in loop_body.stmts]
+    # tick, kernel-call, tock, tick, barrier, tock
+    calls = [
+        s.expr.callee
+        for s in loop_body.stmts
+        if isinstance(s, A.ExprStmt) and isinstance(s.expr, A.CallExpr)
+    ]
+    assert calls == [TICK, "kernel", TOCK, TICK, "MPI_Barrier", TOCK]
+
+
+def test_probe_argument_is_sensor_id():
+    prog, plan = instrumented(SRC)
+    text = prog.source
+    for sensor in plan.selected:
+        assert f"{TICK}({sensor.sensor_id})" in text
+        assert f"{TOCK}({sensor.sensor_id})" in text
+
+
+def test_multiple_sensors_one_block_order_preserved():
+    src = """
+    global int c = 0;
+    int main() {
+        int n; int a; int b;
+        for (n = 0; n < 5; n = n + 1) {
+            for (a = 0; a < 3; a = a + 1) c = c + 1;
+            for (b = 0; b < 4; b = b + 1) c = c + 1;
+        }
+        return 0;
+    }
+    """
+    prog, plan = instrumented(src)
+    assert len(plan.selected) == 2
+    reparsed = parse_source(prog.source)
+    assert reparsed.has_function("main")
+
+
+def test_uninstrumentable_snippet_skipped():
+    """A call in a for-step can't be wrapped at statement level."""
+    src = """
+    int tick_fn() { return 1; }
+    int main() {
+        int n; int x = 0;
+        for (n = 0; n < 5; n = n + tick_fn()) x = x + 1;
+        return 0;
+    }
+    """
+    mod = parse_source(src)
+    result = identify_vsensors(mod)
+    # tick_fn call may or may not be a sensor; just exercise the rewrite.
+    plan = select_sensors(result)
+    prog = instrument_module(mod, plan.selected)
+    parse_source(prog.source)  # must stay parseable

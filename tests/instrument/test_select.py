@@ -1,0 +1,126 @@
+"""Selection-rule tests (§4)."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.instrument import select_sensors
+from repro.sensors import SensorType, identify_vsensors
+
+
+def plan_for(src, max_depth=3):
+    result = identify_vsensors(parse_source(src))
+    return select_sensors(result, max_depth=max_depth), result
+
+
+NESTED_SRC = """
+global int c = 0;
+int main() {
+    int a; int b;
+    for (a = 0; a < 5; a = a + 1) {
+        for (b = 0; b < 4; b = b + 1) c = c + 1;
+    }
+    return 0;
+}
+"""
+
+
+def test_only_global_sensors_selected():
+    src = """
+    global int c = 0;
+    int main() {
+        int n; int k; int m;
+        for (n = 0; n < 5; n = n + 1) {
+            m = n + 1;
+            for (k = 0; k < 4; k = k + 1) c = c + 1;
+        }
+        return 0;
+    }
+    """
+    plan, result = plan_for(src)
+    assert all(s.is_global for s in plan.selected)
+
+
+def test_nested_prefers_outermost():
+    plan, _ = plan_for(NESTED_SRC)
+    # Inner loop (depth 1) is global too, but is nested inside... actually
+    # the outer loop here is not a sensor of anything (no enclosing loop
+    # around it, executes once) — wait: main's a-loop has no enclosing loop
+    # and repeats only via nothing: it is NOT a sensor. So only the inner
+    # loop is selected.
+    assert len(plan.selected) == 1
+    assert plan.selected[0].snippet.depth == 1
+
+
+def test_cross_function_nesting_excluded():
+    src = """
+    void kernel() {
+        int i;
+        for (i = 0; i < 4; i = i + 1) compute_units(5);
+    }
+    int main() {
+        int n;
+        for (n = 0; n < 5; n = n + 1) kernel();
+        return 0;
+    }
+    """
+    plan, _ = plan_for(src)
+    spelled = {s.snippet.spelled for s in plan.selected}
+    assert spelled == {"call kernel"}
+    assert any(s.function == "kernel" for s in plan.rejected_nested)
+
+
+def test_max_depth_zero_keeps_only_outermost():
+    src = """
+    global int c = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 5; n = n + 1) {
+            for (k = 0; k < 4; k = k + 1) c = c + 1;
+            MPI_Barrier();
+        }
+        return 0;
+    }
+    """
+    plan, _ = plan_for(src, max_depth=1)
+    assert all(s.snippet.depth < 1 for s in plan.selected)
+    assert len(plan.rejected_depth) >= 1
+
+
+def test_tiny_extern_calls_not_selected():
+    src = """
+    int main() {
+        int n; float x = 2.0;
+        for (n = 0; n < 5; n = n + 1) x = sqrt(x);
+        return 0;
+    }
+    """
+    plan, _ = plan_for(src)
+    assert plan.selected == []
+    assert len(plan.rejected_tiny) == 1
+
+
+def test_summary_string_format(simple_module):
+    result = identify_vsensors(simple_module)
+    plan = select_sensors(result)
+    summary = plan.summary()
+    assert "Comp" in summary or "Net" in summary
+
+
+def test_by_type_counts(simple_module):
+    result = identify_vsensors(simple_module)
+    plan = select_sensors(result)
+    counts = plan.by_type()
+    assert sum(counts.values()) == len(plan.selected)
+
+
+def test_selected_flag_set(simple_module):
+    result = identify_vsensors(simple_module)
+    plan = select_sensors(result)
+    for sensor in plan.selected:
+        assert sensor.selected
+
+
+def test_empty_program_empty_plan():
+    plan, _ = plan_for("int main() { return 0; }")
+    assert plan.selected == []
+    assert plan.summary() == "0"

@@ -1,0 +1,68 @@
+"""IO-component detection end to end (extension of §6's case studies)."""
+
+import numpy as np
+import pytest
+
+from repro.api import run_vsensor
+from repro.sensors.model import SensorType
+from repro.sim import IoDegradation, MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def chkpt_run():
+    source = get_workload("CHKPT").source()
+    machine = MachineConfig(n_ranks=8, ranks_per_node=4)
+    base = run_vsensor(source, machine, window_us=10_000)
+    span = base.sim.total_time
+    episode = IoDegradation(t0=0.3 * span, t1=0.7 * span, factor=0.2)
+    degraded = run_vsensor(
+        source, machine, faults=[episode], window_us=span / 10, batch_period_us=span / 10
+    )
+    return base, degraded, episode, span
+
+
+def test_io_sensors_identified(chkpt_run):
+    base, _d, _e, _s = chkpt_run
+    types = {s.sensor_type for s in base.static.plan.selected}
+    assert SensorType.IO in types
+
+
+def test_io_matrix_produced(chkpt_run):
+    base, _d, _e, _s = chkpt_run
+    assert SensorType.IO in base.report.matrices
+
+
+def test_healthy_io_matrix_clean(chkpt_run):
+    base, _d, _e, _s = chkpt_run
+    io = base.report.matrices[SensorType.IO]
+    finite = io[np.isfinite(io)]
+    assert np.median(finite) > 0.9
+
+
+def test_io_degradation_band_detected(chkpt_run):
+    _b, degraded, episode, span = chkpt_run
+    io = degraded.report.matrices[SensorType.IO]
+    regions = [r for r in degraded.report.regions if r.sensor_type is SensorType.IO]
+    assert regions, "the IO slowdown must form a variance region"
+    big = max(regions, key=lambda r: r.cells)
+    # All ranks affected (a filesystem-wide storm) within the episode.
+    assert big.rank_lo == 0 and big.rank_hi == 7
+
+
+def test_io_fault_leaves_computation_clean(chkpt_run):
+    _b, degraded, _e, _s = chkpt_run
+    comp = degraded.report.matrices[SensorType.COMPUTATION]
+    finite = comp[np.isfinite(comp)]
+    assert np.median(finite) > 0.9
+
+
+def test_node_local_io_fault_localizes():
+    source = get_workload("CHKPT").source()
+    machine = MachineConfig(n_ranks=8, ranks_per_node=4)
+    probe = run_vsensor(source, machine)
+    span = probe.sim.total_time
+    episode = IoDegradation(t0=0.0, t1=span * 2, factor=0.2, node_ids=(1,))
+    run = run_vsensor(source, machine, faults=[episode], window_us=span / 8)
+    suspects = run.report.suspect_ranks(SensorType.IO, threshold=0.9)
+    assert suspects == [4, 5, 6, 7]

@@ -1,0 +1,140 @@
+"""End-to-end pipeline integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.api import compile_and_instrument, run_uninstrumented, run_vsensor
+from repro.sensors.model import SensorType
+from repro.sim import (
+    CpuContention,
+    MachineConfig,
+    NetworkDegradation,
+    SlowMemoryNode,
+)
+from repro.sim.noise import NoiseConfig
+from tests.conftest import SIMPLE_MPI_PROGRAM
+
+
+def machine(n_ranks=8, **kw):
+    return MachineConfig(n_ranks=n_ranks, ranks_per_node=4, **kw)
+
+
+def test_static_result_complete(simple_module):
+    static = compile_and_instrument(SIMPLE_MPI_PROGRAM)
+    assert static.identification.sensor_count >= 2
+    assert static.plan.selected
+    assert "vs_tick" in static.source
+
+
+def test_full_run_produces_report():
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    assert run.sim.total_time > 0
+    assert run.report.n_ranks == 8
+    assert run.report.bytes_to_server > 0
+    assert run.report.matrices  # at least one component observed
+
+
+def test_report_matrices_have_rank_rows():
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    for matrix in run.report.matrices.values():
+        assert matrix.shape[0] == 8
+
+
+def test_clean_run_mostly_healthy():
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    comp = run.report.matrices.get(SensorType.COMPUTATION)
+    assert comp is not None
+    finite = comp[np.isfinite(comp)]
+    assert np.median(finite) > 0.8
+
+
+def test_overhead_under_paper_bound():
+    base = run_uninstrumented(SIMPLE_MPI_PROGRAM, machine())
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    overhead = run.sim.total_time / base.total_time - 1.0
+    assert overhead < 0.04  # the paper's <4% headline
+
+
+def test_slow_memory_node_flagged():
+    """The Fig. 21 scenario at small scale."""
+    run = run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        machine(),
+        faults=[SlowMemoryNode(node_id=1, mem_factor=0.4)],
+        window_us=20_000,
+    )
+    suspects = run.report.suspect_ranks(SensorType.COMPUTATION, threshold=0.9)
+    assert set(suspects) == {4, 5, 6, 7}
+
+
+def test_contention_window_localized():
+    """The Fig. 20 scenario: injected noise localized in time and ranks.
+
+    The fixture program runs ~3 ms at this scale, so the injection window
+    sits mid-run at 1-2 ms and the matrix uses 500 µs windows.
+    """
+    run = run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        machine(),
+        faults=[CpuContention(node_ids=(0,), t0=1_000.0, t1=2_000.0, cpu_factor=0.25)],
+        window_us=500,
+        batch_period_us=500,
+    )
+    comp_regions = [
+        r for r in run.report.regions if r.sensor_type is SensorType.COMPUTATION
+    ]
+    assert comp_regions
+    main_region = max(comp_regions, key=lambda r: r.cells)
+    # Localized to node 0's ranks and to the injection window (one matrix
+    # window of slack on either side).
+    assert main_region.rank_hi <= 3
+    assert main_region.t_start_us >= 500.0
+    assert main_region.t_end_us <= 3_000.0
+
+
+def test_network_degradation_hits_network_matrix():
+    """The Fig. 22 scenario: congestion shows in the NET component."""
+    run = run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        machine(),
+        faults=[NetworkDegradation(t0=1_000.0, t1=2_500.0, factor=0.1)],
+        window_us=500,
+    )
+    net = run.report.matrices.get(SensorType.NETWORK)
+    assert net is not None
+    finite_cols = [c for c in range(net.shape[1]) if np.isfinite(net[:, c]).any()]
+    degraded = [c for c in finite_cols if np.nanmean(net[:, c]) < 0.6]
+    assert degraded, "expected degraded network windows"
+
+
+def test_deterministic_end_to_end():
+    r1 = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    r2 = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    assert r1.sim.total_time == r2.sim.total_time
+    assert r1.report.bytes_to_server == r2.report.bytes_to_server
+
+
+def test_quiet_machine_no_false_positives():
+    quiet = machine(
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0)
+    )
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, quiet)
+    comp_regions = [
+        r for r in run.report.regions if r.sensor_type is SensorType.COMPUTATION
+    ]
+    assert comp_regions == []
+
+
+def test_data_volume_far_below_tracer():
+    """§6.4: vSensor's data volume is orders of magnitude below a tracer's
+    on communication-heavy programs."""
+    from repro.baselines import EventTracer
+    from repro.frontend.parser import parse_source
+    from repro.sim import Simulator
+
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, machine())
+    tracer = EventTracer()
+    Simulator(parse_source(SIMPLE_MPI_PROGRAM), machine()).run(tracer)
+    assert tracer.stats().bytes > 0
+    # Slice summaries are bounded by wall-time, not event count.
+    assert run.report.bytes_to_server < tracer.stats().bytes * 20

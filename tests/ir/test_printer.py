@@ -1,0 +1,40 @@
+"""IR printer smoke tests."""
+
+from repro.frontend.parser import parse_source
+from repro.ir import format_ir_function, format_ir_module, lower_module
+
+
+def test_module_dump_contains_functions_and_globals(paper_module):
+    text = format_ir_module(lower_module(paper_module))
+    assert "func foo(x, y) -> int {" in text
+    assert "func main() -> int {" in text
+    assert "global GLBV" in text
+
+
+def test_every_instruction_formats(paper_module):
+    module = lower_module(paper_module)
+    for fn in module.functions.values():
+        text = format_ir_function(fn)
+        assert text.count("\n") >= len(fn.blocks)
+
+
+def test_store_load_format():
+    module = lower_module(parse_source("int main() { int x; x = 1; return x; }"))
+    text = format_ir_function(module.function("main"))
+    assert "store x, 1" in text
+    assert "= load x" in text
+
+
+def test_branch_format_mentions_labels():
+    module = lower_module(parse_source("int main() { int x; if (x) x = 1; return 0; }"))
+    text = format_ir_function(module.function("main"))
+    assert "br %" in text
+
+
+def test_indirect_call_format():
+    module = lower_module(
+        parse_source("void f() { } int main() { funcptr p; p = &f; p(); return 0; }")
+    )
+    text = format_ir_function(module.function("main"))
+    assert "icall p()" in text
+    assert "= &f" in text

@@ -1,0 +1,122 @@
+"""Differential testing: the interpreter vs a Python ground-truth evaluator.
+
+Hypothesis generates random integer straight-line programs; both the
+simulator's interpreter and a direct Python evaluation compute the final
+value of every variable, and they must agree exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.parser import parse_source
+from repro.sim.hooks import NullHooks
+from repro.sim.interp import RankInterp
+from repro.sim.machine import MachineConfig
+from repro.sim.noise import NoiseConfig
+
+VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def straight_line_program(draw):
+    """Random sequence of integer assignments with ground truth."""
+    n_stmts = draw(st.integers(min_value=1, max_value=12))
+    env = {v: 0 for v in VARS}
+    lines = []
+
+    def expr_and_value(depth=0):
+        kind = draw(
+            st.sampled_from(
+                ["lit", "var", "bin"] if depth < 3 else ["lit", "var"]
+            )
+        )
+        if kind == "lit":
+            value = draw(st.integers(min_value=-50, max_value=50))
+            return (f"({value})" if value < 0 else str(value)), value
+        if kind == "var":
+            name = draw(st.sampled_from(VARS))
+            return name, env[name]
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        left_text, left_val = expr_and_value(depth + 1)
+        right_text, right_val = expr_and_value(depth + 1)
+        value = {"+": left_val + right_val, "-": left_val - right_val, "*": left_val * right_val}[op]
+        return f"({left_text} {op} {right_text})", value
+
+    for _ in range(n_stmts):
+        target = draw(st.sampled_from(VARS))
+        text, value = expr_and_value()
+        lines.append(f"{target} = {text};")
+        env[target] = value
+
+    decls = " ".join(f"global int {v};" for v in VARS)
+    body = "\n    ".join(lines)
+    src = f"{decls}\nint main() {{\n    {body}\n    return 0;\n}}"
+    return src, env
+
+
+def run_program(src):
+    machine = MachineConfig(
+        n_ranks=1,
+        ranks_per_node=1,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+    interp = RankInterp(
+        module=parse_source(src),
+        rank=0,
+        n_ranks=1,
+        machine=machine,
+        faults=(),
+        hooks=NullHooks(),
+    )
+    for _ in interp.run():
+        raise AssertionError("straight-line program blocked on MPI")
+    return interp.globals
+
+
+@given(program=straight_line_program())
+@settings(max_examples=150, deadline=None)
+def test_interpreter_matches_python_ground_truth(program):
+    src, expected = program
+    final = run_program(src)
+    for var, value in expected.items():
+        assert final[var] == value, f"{var}: interpreter={final[var]} python={value}\n{src}"
+
+
+@given(
+    values=st.lists(st.integers(min_value=-30, max_value=30), min_size=1, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_loop_accumulation_matches(values):
+    """Summing a list via an unrolled global-array loop matches Python."""
+    n = len(values)
+    stores = " ".join(f"xs[{i}] = {v};" if v >= 0 else f"xs[{i}] = 0 - {-v};" for i, v in enumerate(values))
+    src = f"""
+    global int xs[{n}];
+    global int total;
+    int main() {{
+        int i;
+        {stores}
+        for (i = 0; i < {n}; i = i + 1) total = total + xs[i];
+        return 0;
+    }}
+    """
+    final = run_program(src)
+    assert final["total"] == sum(values)
+
+
+@given(n=st.integers(min_value=0, max_value=30), m=st.integers(min_value=0, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_nested_loop_trip_product(n, m):
+    src = f"""
+    global int count;
+    int main() {{
+        int i; int j;
+        for (i = 0; i < {n}; i = i + 1) {{
+            for (j = 0; j < {m}; j = j + 1) count = count + 1;
+        }}
+        return 0;
+    }}
+    """
+    assert run_program(src)["count"] == n * m

@@ -1,0 +1,102 @@
+"""Property tests of the instrumentation-selection invariants (§4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.parser import parse_source
+from repro.instrument import select_sensors
+from repro.sensors import identify_vsensors
+from repro.sensors.asttools import subtree_ids
+
+
+@st.composite
+def random_program(draw):
+    """A random SPMD-ish program from a small grammar: nested constant or
+    variant loops, calls to one of two helper functions, MPI ops."""
+    n_top = draw(st.integers(min_value=1, max_value=3))
+    pieces = []
+    for i in range(n_top):
+        kind = draw(st.sampled_from(["const_loop", "variant_loop", "call", "mpi"]))
+        if kind == "const_loop":
+            bound = draw(st.integers(min_value=2, max_value=9))
+            inner = draw(st.sampled_from(["c = c + 1;", "helper();", "compute_units(4);"]))
+            pieces.append(f"for (k = 0; k < {bound}; k = k + 1) {{ {inner} }}")
+        elif kind == "variant_loop":
+            pieces.append("for (k = 0; k < n + 1; k = k + 1) { c = c + 1; }")
+        elif kind == "call":
+            pieces.append(draw(st.sampled_from(["helper();", "helper2(5);", "helper2(n);"])))
+        else:
+            pieces.append(draw(st.sampled_from(["MPI_Barrier();", "MPI_Allreduce(8);"])))
+    body = "\n            ".join(pieces)
+    return f"""
+    global int c = 0;
+    void helper() {{ int i; for (i = 0; i < 6; i = i + 1) c = c + 1; }}
+    void helper2(int m) {{ int i; for (i = 0; i < m; i = i + 1) c = c + 1; }}
+    int main() {{
+        int n; int k;
+        for (n = 0; n < 12; n = n + 1) {{
+            {body}
+        }}
+        return 0;
+    }}
+    """
+
+
+@given(src=random_program())
+@settings(max_examples=80, deadline=None)
+def test_selection_invariants(src):
+    result = identify_vsensors(parse_source(src))
+    plan = select_sensors(result)
+
+    # 1. Selected sensors are a subset of identified sensors.
+    sensor_ids = {s.sensor_id for s in result.sensors}
+    for sensor in plan.selected:
+        assert sensor.sensor_id in sensor_ids
+
+    # 2. Every selected sensor is global (the scope rule).
+    assert all(s.is_global for s in plan.selected)
+
+    # 3. No two selected sensors nest within one function.
+    for a in plan.selected:
+        sub_a = subtree_ids(a.snippet.node)
+        for b in plan.selected:
+            if a is b or a.function != b.function:
+                continue
+            assert b.sensor_id not in sub_a, "AST-nested sensors both selected"
+
+    # 4. The partition accounting is total: every identified sensor is
+    # selected or in exactly one rejection bucket.
+    rejected = (
+        {s.sensor_id for s in plan.rejected_scope}
+        | {s.sensor_id for s in plan.rejected_depth}
+        | {s.sensor_id for s in plan.rejected_nested}
+        | {s.sensor_id for s in plan.rejected_tiny}
+    )
+    selected = {s.sensor_id for s in plan.selected}
+    assert selected | rejected == sensor_ids
+    assert not (selected & rejected)
+
+
+@given(src=random_program())
+@settings(max_examples=40, deadline=None)
+def test_instrumented_source_always_reparses(src):
+    from repro.instrument import instrument_module
+
+    module = parse_source(src)
+    result = identify_vsensors(module)
+    plan = select_sensors(result)
+    program = instrument_module(module, plan.selected)
+    reparsed = parse_source(program.source)
+    assert reparsed.has_function("main")
+    # Probe pairs are balanced.
+    assert program.source.count("vs_tick") == program.source.count("vs_tock")
+
+
+@given(src=random_program(), depth=st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_depth_cut_respected(src, depth):
+    result = identify_vsensors(parse_source(src))
+    plan = select_sensors(result, max_depth=depth)
+    assert all(s.snippet.depth < depth for s in plan.selected)

@@ -1,0 +1,91 @@
+"""Dynamic-rule tests (§3.1 dynamic rules, Fig. 13)."""
+
+import pytest
+
+from repro.runtime.dynrules import CacheMissBands, NoGrouping, ThresholdMiss
+from repro.runtime.records import SensorRecord
+from repro.sensors.model import SensorType
+
+
+def rec(miss):
+    return SensorRecord(
+        rank=0,
+        sensor_id=1,
+        sensor_type=SensorType.COMPUTATION,
+        t_start=0.0,
+        t_end=1.0,
+        instructions=10.0,
+        cache_miss_rate=miss,
+    )
+
+
+def test_no_grouping_single_group():
+    rule = NoGrouping()
+    assert rule.group(rec(0.01)) == rule.group(rec(0.9)) == ""
+
+
+def test_cache_miss_bands():
+    rule = CacheMissBands(band_width=0.10)
+    assert rule.group(rec(0.05)) == "miss0"
+    assert rule.group(rec(0.15)) == "miss1"
+    assert rule.group(rec(0.95)) == "miss9"
+
+
+def test_band_width_validation():
+    with pytest.raises(ValueError):
+        CacheMissBands(band_width=0.0)
+    with pytest.raises(ValueError):
+        CacheMissBands(band_width=1.5)
+
+
+def test_threshold_rule_binary():
+    rule = ThresholdMiss(threshold=0.5)
+    assert rule.group(rec(0.2)) == "L"
+    assert rule.group(rec(0.7)) == "H"
+
+
+def test_fig13_scenario():
+    """Fig. 13: wall times [3,3,7,3,5,3,7,3,3,3], miss rates H for the 7s
+    and record 4's 5s is a low-miss outlier.
+
+    Case 1 (no grouping): records 2, 4, 6 score below threshold.
+    Case 2 (grouped): only record 4 is a variance in the L group; the H
+    group (both 7s) shows none.
+    """
+    from repro.runtime.detector import DetectorConfig, RankDetector
+
+    walls = [3.0, 3.0, 7.0, 3.0, 5.0, 3.0, 7.0, 3.0, 3.0, 3.0]
+    misses = [0.1, 0.1, 0.9, 0.1, 0.1, 0.1, 0.9, 0.1, 0.1, 0.1]
+
+    def feed(rule):
+        det = RankDetector(
+            rank=0,
+            config=DetectorConfig(slice_us=10.0, threshold=0.7, min_duration_us=0.0),
+            rule=rule,
+        )
+        t = 0.0
+        for wall, miss in zip(walls, misses):
+            t += 10.0  # one record per slice
+            det.add(
+                SensorRecord(
+                    rank=0,
+                    sensor_id=1,
+                    sensor_type=SensorType.COMPUTATION,
+                    t_start=t - wall,
+                    t_end=t,
+                    instructions=10.0,
+                    cache_miss_rate=miss,
+                )
+            )
+        det.finish()
+        return det.events
+
+    case1 = feed(NoGrouping())
+    # Records 2, 4, 6 are slower than the standard 3.0 by > threshold.
+    assert len(case1) == 3
+
+    case2 = feed(ThresholdMiss(threshold=0.5))
+    # Grouped: the two 7s form their own (consistent) group; only the 5
+    # in the low-miss group remains a variance.
+    assert len(case2) == 1
+    assert case2[0].group == "L"

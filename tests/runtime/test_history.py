@@ -1,0 +1,55 @@
+"""Standard-time history tests (§5.2, §5.3)."""
+
+import pytest
+
+from repro.runtime.history import SensorHistory
+
+
+def test_first_observation_scores_one():
+    h = SensorHistory()
+    assert h.observe(1, "", 10.0) == 1.0
+
+
+def test_slower_scores_ratio():
+    h = SensorHistory()
+    h.observe(1, "", 10.0)
+    assert h.observe(1, "", 20.0) == pytest.approx(0.5)
+
+
+def test_faster_updates_standard():
+    h = SensorHistory()
+    h.observe(1, "", 10.0)
+    assert h.observe(1, "", 8.0) == 1.0
+    assert h.standard_time(1) == 8.0
+    assert h.observe(1, "", 10.0) == pytest.approx(0.8)
+
+
+def test_sensors_independent():
+    h = SensorHistory()
+    h.observe(1, "", 10.0)
+    assert h.observe(2, "", 50.0) == 1.0
+
+
+def test_groups_independent():
+    h = SensorHistory()
+    h.observe(1, "L", 10.0)
+    assert h.observe(1, "H", 30.0) == 1.0
+    assert h.observe(1, "L", 20.0) == pytest.approx(0.5)
+
+
+def test_storage_is_one_scalar_per_sensor_group():
+    h = SensorHistory()
+    for i in range(1000):
+        h.observe(1, "", 10.0 + (i % 7))
+    assert h.entries() == 1
+
+
+def test_unknown_standard_none():
+    h = SensorHistory()
+    assert h.standard_time(99) is None
+
+
+def test_zero_duration_guard():
+    h = SensorHistory()
+    h.observe(1, "", 0.0)
+    assert h.observe(1, "", 0.0) == 1.0

@@ -1,0 +1,83 @@
+"""Live-reporter tests (on-line report updates, §2 step 8)."""
+
+import numpy as np
+import pytest
+
+from repro.api import run_vsensor
+from repro.runtime.live import LiveReporter, first_detection_time
+from repro.sensors.model import SensorType
+from repro.sim import CpuContention, MachineConfig
+from tests.conftest import SIMPLE_MPI_PROGRAM
+
+
+def test_snapshots_taken_periodically():
+    reporter = LiveReporter(period_us=500.0)
+    run = run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        batch_period_us=250.0,
+        live=reporter,
+    )
+    assert len(reporter.snapshots) >= 2
+    times = [s.virtual_time_us for s in reporter.snapshots]
+    assert times == sorted(times)
+    assert all(b - a >= 500.0 for a, b in zip(times, times[1:]))
+
+
+def test_snapshot_carries_matrices():
+    reporter = LiveReporter(period_us=500.0)
+    run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        batch_period_us=250.0,
+        window_us=500.0,
+        live=reporter,
+    )
+    last = reporter.snapshots[-1]
+    assert SensorType.COMPUTATION in last.matrices
+    assert last.matrices[SensorType.COMPUTATION].shape[0] == 4
+
+
+def test_callback_invoked():
+    seen = []
+    reporter = LiveReporter(period_us=500.0, callback=seen.append)
+    run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        batch_period_us=250.0,
+        live=reporter,
+    )
+    assert len(seen) == len(reporter.snapshots)
+
+
+def test_variance_noticed_before_program_end():
+    """The on-line promise: an episode early in the run is visible in a
+    snapshot taken well before the program finishes."""
+    machine = MachineConfig(n_ranks=8, ranks_per_node=4)
+    probe = run_vsensor(SIMPLE_MPI_PROGRAM, machine)
+    span = probe.sim.total_time
+
+    reporter = LiveReporter(period_us=span / 20, threshold=0.7)
+    run = run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        machine,
+        faults=[CpuContention(node_ids=(0,), t0=0.1 * span, t1=0.4 * span, cpu_factor=0.25)],
+        window_us=span / 20,
+        batch_period_us=span / 40,
+        live=reporter,
+    )
+    detected_at = first_detection_time(reporter)
+    assert detected_at is not None
+    assert detected_at < 0.8 * run.sim.total_time
+
+
+def test_no_variance_no_detection_time():
+    reporter = LiveReporter(period_us=500.0)
+    run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        batch_period_us=250.0,
+        live=reporter,
+    )
+    comp_lows = [s.low_cells.get(SensorType.COMPUTATION, 0) for s in reporter.snapshots]
+    assert all(c == 0 for c in comp_lows)

@@ -1,0 +1,96 @@
+"""Analysis-server tests (§5.4-§5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.records import SliceSummary
+from repro.runtime.server import AnalysisServer
+from repro.sensors.model import SensorType
+
+
+def summary(rank, slice_index, duration, sensor_id=1, stype=SensorType.COMPUTATION, group=""):
+    return SliceSummary(
+        rank=rank,
+        sensor_id=sensor_id,
+        sensor_type=stype,
+        group=group,
+        slice_index=slice_index,
+        t_slice_start=slice_index * 1000.0,
+        mean_duration=duration,
+        count=4,
+        mean_cache_miss=0.1,
+    )
+
+
+def test_bytes_accounting():
+    server = AnalysisServer(n_ranks=2, window_us=1000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0), summary(0, 1, 10.0)])
+    assert server.batches_received == 1
+    assert server.summaries_received == 2
+    assert server.bytes_received == 8 + 2 * SliceSummary.WIRE_BYTES
+
+
+def test_matrix_shape_and_values():
+    server = AnalysisServer(n_ranks=2, window_us=1000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0), summary(0, 1, 10.0)])
+    server.receive_batch(1, [summary(1, 0, 10.0), summary(1, 1, 20.0)])
+    matrix = server.performance_matrix(SensorType.COMPUTATION)
+    assert matrix.shape == (2, 2)
+    assert matrix[0, 0] == pytest.approx(1.0)
+    assert matrix[1, 1] == pytest.approx(0.5)
+
+
+def test_matrix_nan_for_missing_cells():
+    server = AnalysisServer(n_ranks=3, window_us=1000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0)])
+    matrix = server.performance_matrix(SensorType.COMPUTATION)
+    assert np.isnan(matrix[1, 0]) and np.isnan(matrix[2, 0])
+
+
+def test_types_kept_separate():
+    server = AnalysisServer(n_ranks=1, window_us=1000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0, sensor_id=1, stype=SensorType.COMPUTATION)])
+    server.receive_batch(0, [summary(0, 0, 30.0, sensor_id=2, stype=SensorType.NETWORK)])
+    comp = server.performance_matrix(SensorType.COMPUTATION)
+    net = server.performance_matrix(SensorType.NETWORK)
+    assert np.isfinite(comp[0, 0]) and np.isfinite(net[0, 0])
+
+
+def test_inter_process_detection_flags_slow_rank():
+    server = AnalysisServer(n_ranks=4, window_us=1000.0, threshold=0.7)
+    for rank in range(4):
+        duration = 30.0 if rank == 2 else 10.0
+        server.receive_batch(rank, [summary(rank, 0, duration)])
+    events = server.detect_inter_process()
+    assert len(events) == 1
+    assert events[0].slow_ranks == (2,)
+    assert events[0].worst_performance == pytest.approx(10.0 / 30.0)
+
+
+def test_inter_process_no_event_when_uniform():
+    server = AnalysisServer(n_ranks=4, window_us=1000.0)
+    for rank in range(4):
+        server.receive_batch(rank, [summary(rank, 0, 10.0)])
+    assert server.detect_inter_process() == []
+
+
+def test_inter_process_requires_min_ranks():
+    server = AnalysisServer(n_ranks=4, window_us=1000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0)])
+    assert server.detect_inter_process(min_ranks=2) == []
+
+
+def test_mean_rank_performance():
+    server = AnalysisServer(n_ranks=2, window_us=1000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0), summary(0, 1, 10.0)])
+    server.receive_batch(1, [summary(1, 0, 20.0), summary(1, 1, 20.0)])
+    means = server.mean_rank_performance(SensorType.COMPUTATION)
+    assert means[0] > means[1]
+
+
+def test_window_mapping():
+    server = AnalysisServer(n_ranks=1, window_us=2000.0)
+    server.receive_batch(0, [summary(0, 0, 10.0), summary(0, 3, 10.0)])
+    matrix = server.performance_matrix(SensorType.COMPUTATION)
+    # Slices 0 and 3 (at 0us and 3000us) land in windows 0 and 1.
+    assert matrix.shape == (1, 2)

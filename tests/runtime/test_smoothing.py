@@ -1,0 +1,114 @@
+"""Slice-aggregation tests (§5.1)."""
+
+import pytest
+
+from repro.runtime.records import SensorRecord
+from repro.runtime.smoothing import SliceAggregator
+from repro.sensors.model import SensorType
+
+
+def rec(t_end, duration=5.0, sensor_id=1, group="", miss=0.1, rank=0):
+    return SensorRecord(
+        rank=rank,
+        sensor_id=sensor_id,
+        sensor_type=SensorType.COMPUTATION,
+        t_start=t_end - duration,
+        t_end=t_end,
+        instructions=100.0,
+        cache_miss_rate=miss,
+        group=group,
+    )
+
+
+def test_records_within_slice_accumulate():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    assert agg.add(rec(100.0)) == []
+    assert agg.add(rec(500.0)) == []
+    assert agg.add(rec(900.0)) == []
+    out = agg.flush()
+    assert len(out) == 1
+    assert out[0].count == 3
+
+
+def test_slice_boundary_emits():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(500.0, duration=4.0))
+    emitted = agg.add(rec(1500.0, duration=8.0))
+    assert len(emitted) == 1
+    assert emitted[0].slice_index == 0
+    assert emitted[0].mean_duration == pytest.approx(4.0)
+    final = agg.flush()
+    assert final[0].slice_index == 1
+    assert final[0].mean_duration == pytest.approx(8.0)
+
+
+def test_mean_duration_averages():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(100.0, duration=2.0))
+    agg.add(rec(200.0, duration=4.0))
+    out = agg.flush()
+    assert out[0].mean_duration == pytest.approx(3.0)
+
+
+def test_mean_cache_miss_averages():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(100.0, miss=0.2))
+    agg.add(rec(200.0, miss=0.4))
+    assert agg.flush()[0].mean_cache_miss == pytest.approx(0.3)
+
+
+def test_sensors_aggregate_independently():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(100.0, sensor_id=1))
+    agg.add(rec(200.0, sensor_id=2))
+    out = agg.flush()
+    assert {s.sensor_id for s in out} == {1, 2}
+
+
+def test_groups_aggregate_independently():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(100.0, group="L"))
+    agg.add(rec(200.0, group="H"))
+    out = agg.flush()
+    assert {s.group for s in out} == {"L", "H"}
+
+
+def test_gap_slices_skipped():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(500.0))
+    emitted = agg.add(rec(5500.0))
+    assert emitted[0].slice_index == 0
+    assert agg.flush()[0].slice_index == 5
+
+
+def test_slice_start_time():
+    agg = SliceAggregator(rank=0, slice_us=250.0)
+    agg.add(rec(600.0))
+    out = agg.flush()
+    assert out[0].t_slice_start == pytest.approx(500.0)
+
+
+def test_flush_clears_state():
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    agg.add(rec(100.0))
+    agg.flush()
+    assert agg.flush() == []
+
+
+def test_smoothing_reduces_variance():
+    """The Fig. 12 effect: slice averages are much less spread than raw."""
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    agg = SliceAggregator(rank=0, slice_us=1000.0)
+    raw = []
+    out = []
+    t = 0.0
+    for _ in range(5000):
+        duration = float(10.0 * rng.lognormal(0.0, 0.4))
+        t += duration
+        raw.append(duration)
+        out.extend(agg.add(rec(t, duration=duration)))
+    out.extend(agg.flush())
+    smooth = [s.mean_duration for s in out]
+    assert np.std(smooth) < np.std(raw) / 2

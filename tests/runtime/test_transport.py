@@ -1,0 +1,140 @@
+"""Shared-file transport tests (§5.4's alternative delivery path)."""
+
+import pytest
+
+from repro.runtime.records import SliceSummary
+from repro.runtime.server import AnalysisServer
+from repro.runtime.transport import FileSpool
+from repro.sensors.model import SensorType
+
+
+def summary(rank, slice_index, duration, sensor_id=1, stype=SensorType.COMPUTATION, group="", miss=0.25):
+    return SliceSummary(
+        rank=rank,
+        sensor_id=sensor_id,
+        sensor_type=stype,
+        group=group,
+        slice_index=slice_index,
+        t_slice_start=slice_index * 1000.0,
+        mean_duration=duration,
+        count=4,
+        mean_cache_miss=miss,
+    )
+
+
+def test_round_trip_preserves_fields(tmp_path):
+    spool = FileSpool(directory=str(tmp_path))
+    spool.append_batch(0, [summary(0, 3, 12.5, sensor_id=42, stype=SensorType.NETWORK, group="miss1")])
+    server = AnalysisServer(n_ranks=2, window_us=1000.0)
+    read = spool.drain_into(server, slice_us=1000.0)
+    assert read == 1
+    assert server.summaries_received == 1
+    matrix = server.performance_matrix(SensorType.NETWORK)
+    assert matrix.shape == (2, 4)
+
+
+def test_equivalent_to_direct_delivery(tmp_path):
+    batches = {
+        0: [summary(0, 0, 10.0), summary(0, 1, 20.0)],
+        1: [summary(1, 0, 10.0), summary(1, 1, 10.0)],
+    }
+    direct = AnalysisServer(n_ranks=2, window_us=1000.0)
+    for rank, batch in batches.items():
+        direct.receive_batch(rank, batch)
+
+    spool = FileSpool(directory=str(tmp_path))
+    for rank, batch in batches.items():
+        spool.append_batch(rank, batch)
+    spooled = AnalysisServer(n_ranks=2, window_us=1000.0)
+    spool.drain_into(spooled, slice_us=1000.0)
+
+    import numpy as np
+
+    d = direct.performance_matrix(SensorType.COMPUTATION)
+    s = spooled.performance_matrix(SensorType.COMPUTATION)
+    assert np.allclose(np.nan_to_num(d, nan=-1), np.nan_to_num(s, nan=-1), rtol=1e-6)
+
+
+def test_incremental_drain_reads_only_new_data(tmp_path):
+    spool = FileSpool(directory=str(tmp_path))
+    server = AnalysisServer(n_ranks=1, window_us=1000.0)
+    spool.append_batch(0, [summary(0, 0, 10.0)])
+    assert spool.drain_into(server) == 1
+    assert spool.drain_into(server) == 0
+    spool.append_batch(0, [summary(0, 1, 10.0)])
+    assert spool.drain_into(server) == 1
+
+
+def test_multiple_ranks_separate_spools(tmp_path):
+    spool = FileSpool(directory=str(tmp_path))
+    for rank in range(4):
+        spool.append_batch(rank, [summary(rank, 0, 10.0)])
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == [f"rank{r:05d}.spool" for r in range(4)]
+    server = AnalysisServer(n_ranks=4, window_us=1000.0)
+    assert spool.drain_into(server) == 4
+
+
+class _CapturingServer(AnalysisServer):
+    """Records every ingested summary (AnalysisServer uses slots, so the
+    capture must be a subclass override, not a monkeypatch)."""
+
+    captured: list = []
+
+    def _ingest(self, s):
+        type(self).captured.append(s)
+        super()._ingest(s)
+
+
+def test_cache_miss_quantization_error_small(tmp_path):
+    spool = FileSpool(directory=str(tmp_path))
+    spool.append_batch(0, [summary(0, 0, 10.0, miss=0.333)])
+    _CapturingServer.captured = []
+    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    spool.drain_into(server)
+    assert _CapturingServer.captured[0].mean_cache_miss == pytest.approx(0.333, abs=1e-4)
+
+
+def test_group_interning_round_trip(tmp_path):
+    spool = FileSpool(directory=str(tmp_path))
+    spool.append_batch(0, [summary(0, 0, 10.0, group="H"), summary(0, 1, 12.0, group="L")])
+    _CapturingServer.captured = []
+    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    spool.drain_into(server)
+    assert [s.group for s in _CapturingServer.captured] == ["H", "L"]
+
+
+def test_end_to_end_spooled_run(tmp_path):
+    """Full pipeline with spool delivery: same matrices as direct."""
+    from repro.api import run_vsensor
+    from repro.runtime.transport import SpoolingRuntimeMixin
+    from repro.sim import MachineConfig
+    from tests.conftest import SIMPLE_MPI_PROGRAM
+    import numpy as np
+
+    machine = MachineConfig(n_ranks=4, ranks_per_node=2)
+    direct = run_vsensor(SIMPLE_MPI_PROGRAM, machine, window_us=2000.0)
+
+    # Spooled: intercept the runtime before the simulation starts.
+    from repro.api import compile_and_instrument
+    from repro.runtime.vsensor_hooks import VSensorRuntime
+    from repro.runtime.server import AnalysisServer
+    from repro.sim import Simulator
+
+    static = compile_and_instrument(SIMPLE_MPI_PROGRAM)
+    runtime = VSensorRuntime(
+        sensors=static.program.sensors,
+        n_ranks=4,
+        server=AnalysisServer(n_ranks=4, window_us=2000.0, batch_period_us=100_000.0),
+    )
+    mixin = SpoolingRuntimeMixin(spool=FileSpool(directory=str(tmp_path)))
+    mixin.attach(runtime)
+    Simulator(static.program.module, machine, sensors=static.program.sensors).run(runtime)
+    server = mixin.finish(runtime)
+
+    d = direct.report.matrices[SensorType.COMPUTATION]
+    s = server.performance_matrix(SensorType.COMPUTATION)
+    assert s.shape == d.shape
+    # Same cells populated; values agree to quantization.
+    assert np.array_equal(np.isfinite(d), np.isfinite(s))
+    assert np.allclose(d[np.isfinite(d)], s[np.isfinite(s)], rtol=1e-4)

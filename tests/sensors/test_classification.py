@@ -1,0 +1,99 @@
+"""Sensor classification tests (Computation / Network / IO, §3.1)."""
+
+from repro.frontend.parser import parse_source
+from repro.sensors import SensorType, SnippetKind, identify_vsensors
+
+
+def ident(src):
+    return identify_vsensors(parse_source(src))
+
+
+def types_of(result):
+    return {(s.function, s.snippet.spelled): s.sensor_type for s in result.sensors}
+
+
+def test_pure_loop_is_computation():
+    result = ident(
+        """
+        global int c = 0;
+        int main() {
+            int n; int k;
+            for (n = 0; n < 5; n = n + 1) { for (k = 0; k < 5; k = k + 1) c = c + 1; }
+            return 0;
+        }
+        """
+    )
+    assert all(s.sensor_type is SensorType.COMPUTATION for s in result.sensors)
+
+
+def test_mpi_call_is_network():
+    result = ident("int main() { int n; for (n = 0; n < 5; n = n + 1) MPI_Barrier(); return 0; }")
+    assert result.sensors[0].sensor_type is SensorType.NETWORK
+
+
+def test_io_call_is_io():
+    result = ident("int main() { int n; for (n = 0; n < 5; n = n + 1) fwrite(16); return 0; }")
+    sensor = next(s for s in result.sensors if s.snippet.kind is SnippetKind.CALL)
+    assert sensor.sensor_type is SensorType.IO
+
+
+def test_loop_containing_mpi_is_network():
+    result = ident(
+        """
+        int main() {
+            int n; int k;
+            for (n = 0; n < 5; n = n + 1) {
+                for (k = 0; k < 3; k = k + 1) MPI_Allreduce(8);
+            }
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP and s.snippet.depth == 1)
+    assert loop.sensor_type is SensorType.NETWORK
+
+
+def test_network_priority_over_io():
+    result = ident(
+        """
+        int main() {
+            int n;
+            for (n = 0; n < 5; n = n + 1) {
+                int k;
+                for (k = 0; k < 2; k = k + 1) { fwrite(8); MPI_Barrier(); }
+            }
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP and s.snippet.depth == 1)
+    assert loop.sensor_type is SensorType.NETWORK
+
+
+def test_classification_through_callee():
+    result = ident(
+        """
+        void sync() { MPI_Barrier(); }
+        int main() {
+            int n;
+            for (n = 0; n < 5; n = n + 1) sync();
+            return 0;
+        }
+        """
+    )
+    call = next(s for s in result.sensors if s.function == "main")
+    assert call.sensor_type is SensorType.NETWORK
+
+
+def test_printf_classified_io():
+    result = ident(
+        """
+        int main() {
+            int n;
+            for (n = 0; n < 5; n = n + 1) printf("x");
+            return 0;
+        }
+        """
+    )
+    sensor = next(s for s in result.sensors if s.snippet.kind is SnippetKind.CALL)
+    assert sensor.sensor_type is SensorType.IO

@@ -1,0 +1,160 @@
+"""Workload-estimator tests (§4 granularity estimation)."""
+
+import pytest
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import parse_source
+from repro.sensors.estimate import WorkloadEstimator, const_value
+
+
+def estimator_for(src):
+    module = parse_source(src)
+    return module, WorkloadEstimator(module)
+
+
+def first_loop(module, fn="main"):
+    return next(
+        s for s in A.walk_stmts(module.function(fn).body) if isinstance(s, A.ForStmt)
+    )
+
+
+class TestConstValue:
+    def test_literals(self):
+        mod = parse_source("int main() { int x; x = 42; return 0; }")
+        expr = mod.function("main").body.stmts[1].value
+        assert const_value(expr) == 42
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("2 * 16", 32), ("10 - 3", 7), ("-(4)", -4), ("9 / 2", 4), ("9 % 4", 1), ("1 + 2 * 3", 7)],
+    )
+    def test_folding(self, text, expected):
+        mod = parse_source(f"int main() {{ int x; x = {text}; return 0; }}")
+        expr = mod.function("main").body.stmts[1].value
+        assert const_value(expr) == expected
+
+    def test_variable_not_folded(self):
+        mod = parse_source("int main() { int x; int y; x = y + 1; return 0; }")
+        expr = mod.function("main").body.stmts[2].value
+        assert const_value(expr) is None
+
+    def test_division_by_zero_unknown(self):
+        mod = parse_source("int main() { int x; x = 1 / 0; return 0; }")
+        expr = mod.function("main").body.stmts[1].value
+        assert const_value(expr) is None
+
+
+class TestTripCount:
+    def test_canonical_loop(self):
+        mod, est = estimator_for("int main() { int i; for (i = 0; i < 10; i = i + 1) { } return 0; }")
+        assert est.trip_count(first_loop(mod)) == 10
+
+    def test_strided_loop(self):
+        mod, est = estimator_for("int main() { int i; for (i = 0; i < 10; i = i + 3) { } return 0; }")
+        assert est.trip_count(first_loop(mod)) == 4  # 0,3,6,9
+
+    def test_le_bound(self):
+        mod, est = estimator_for("int main() { int i; for (i = 1; i <= 5; i = i + 1) { } return 0; }")
+        assert est.trip_count(first_loop(mod)) == 5
+
+    def test_empty_range(self):
+        mod, est = estimator_for("int main() { int i; for (i = 9; i < 3; i = i + 1) { } return 0; }")
+        assert est.trip_count(first_loop(mod)) == 0
+
+    def test_variable_bound_unknown(self):
+        mod, est = estimator_for(
+            "int main() { int i; int n; for (i = 0; i < n; i = i + 1) { } return 0; }"
+        )
+        assert est.trip_count(first_loop(mod)) is None
+
+    def test_non_canonical_step_unknown(self):
+        mod, est = estimator_for(
+            "int main() { int i; for (i = 0; i < 8; i = i * 2 + 1) { } return 0; }"
+        )
+        assert est.trip_count(first_loop(mod)) is None
+
+
+class TestSnippetEstimates:
+    def test_loop_estimate_scales_with_trips(self):
+        mod10, est10 = estimator_for(
+            "int main() { int i; for (i = 0; i < 10; i = i + 1) compute_units(5); return 0; }"
+        )
+        mod100, est100 = estimator_for(
+            "int main() { int i; for (i = 0; i < 100; i = i + 1) compute_units(5); return 0; }"
+        )
+        small = est10.estimate_snippet(first_loop(mod10))
+        large = est100.estimate_snippet(first_loop(mod100))
+        assert small is not None and large is not None
+        assert large == pytest.approx(small * 10, rel=0.2)
+
+    def test_compute_units_counted(self):
+        mod, est = estimator_for(
+            "int main() { int i; for (i = 0; i < 10; i = i + 1) compute_units(50); return 0; }"
+        )
+        estimate = est.estimate_snippet(first_loop(mod))
+        assert estimate >= 500
+
+    def test_while_loop_unknown(self):
+        mod, est = estimator_for(
+            "int main() { int x = 5; while (x > 0) x = x - 1; return 0; }"
+        )
+        loop = next(
+            s for s in A.walk_stmts(mod.function("main").body) if isinstance(s, A.WhileStmt)
+        )
+        assert est.estimate_snippet(loop) is None
+
+    def test_defined_function_cost(self):
+        mod, est = estimator_for(
+            """
+            void work() { int i; for (i = 0; i < 20; i = i + 1) compute_units(10); }
+            int main() { work(); return 0; }
+            """
+        )
+        assert est.estimate_function("work") >= 200
+
+    def test_recursion_unknown(self):
+        mod, est = estimator_for(
+            "int f(int n) { if (n) return f(n - 1); return 0; } int main() { f(3); return 0; }"
+        )
+        assert est.estimate_function("f") is None
+
+    def test_extern_with_const_workload(self):
+        mod, est = estimator_for("int main() { MPI_Allreduce(64); return 0; }")
+        call = next(
+            e
+            for e in A.walk_all_exprs(mod.function("main").body)
+            if isinstance(e, A.CallExpr)
+        )
+        assert est.estimate_snippet(call) is not None
+
+    def test_extern_with_variable_workload_unknown(self):
+        mod, est = estimator_for("int main() { int n; MPI_Allreduce(n); return 0; }")
+        call = next(
+            e
+            for e in A.walk_all_exprs(mod.function("main").body)
+            if isinstance(e, A.CallExpr)
+        )
+        assert est.estimate_snippet(call) is None
+
+
+class TestSelectionIntegration:
+    def test_min_work_threshold_skips_tiny_sensors(self):
+        from repro.instrument import select_sensors
+        from repro.sensors import identify_vsensors
+
+        src = """
+        global int c = 0;
+        void tiny() { int i; for (i = 0; i < 2; i = i + 1) c = c + 1; }
+        void big() { int i; for (i = 0; i < 50; i = i + 1) compute_units(100); }
+        int main() {
+            int n;
+            for (n = 0; n < 5; n = n + 1) { tiny(); big(); }
+            return 0;
+        }
+        """
+        result = identify_vsensors(parse_source(src))
+        plain = select_sensors(result, min_estimated_work=0.0)
+        filtered = select_sensors(result, min_estimated_work=100.0)
+        assert len(filtered.selected) < len(plain.selected)
+        names = {s.snippet.node.callee for s in filtered.selected if isinstance(s.snippet.node, A.CallExpr)}
+        assert "big" in names and "tiny" not in names

@@ -1,0 +1,88 @@
+"""Extern registry tests (§3.5 default descriptions)."""
+
+import pytest
+
+from repro.sensors.extern import (
+    RET_ARGS,
+    RET_CONST,
+    RET_NONFIXED,
+    RET_RANK,
+    ExternModel,
+    ExternRegistry,
+    default_extern_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return default_extern_registry()
+
+
+def test_mpi_functions_described(registry):
+    for name in ["MPI_Send", "MPI_Recv", "MPI_Barrier", "MPI_Alltoall", "MPI_Allreduce", "MPI_Bcast"]:
+        assert registry.known(name), name
+
+
+def test_libc_functions_described(registry):
+    for name in ["printf", "fread", "fwrite", "sqrt", "rand"]:
+        assert registry.known(name), name
+
+
+def test_undescribed_is_unknown(registry):
+    assert registry.lookup("mystery") is None
+
+
+def test_comm_rank_returns_rank(registry):
+    assert registry.lookup("MPI_Comm_rank").ret == RET_RANK
+
+
+def test_send_workload_is_count_argument(registry):
+    model = registry.lookup("MPI_Send")
+    assert model.workload_args == (1,)
+    assert model.dest_arg == 0
+    assert model.category == "net"
+
+
+def test_fread_ret_nonfixed(registry):
+    assert registry.lookup("fread").ret == RET_NONFIXED
+    assert registry.lookup("fread").category == "io"
+
+
+def test_sqrt_pure(registry):
+    assert registry.lookup("sqrt").ret == RET_ARGS
+    assert not registry.lookup("sqrt").probe_worthy
+
+
+def test_register_custom_model():
+    reg = ExternRegistry()
+    reg.register(ExternModel("my_io", workload_args=(0,), ret=RET_CONST, category="io"))
+    assert reg.known("my_io")
+    assert reg.lookup("my_io").workload_args == (0,)
+
+
+def test_copy_is_independent(registry):
+    copy = registry.copy()
+    copy.register(ExternModel("extra"))
+    assert not registry.known("extra")
+    assert copy.known("extra")
+
+
+def test_user_description_enables_sensor():
+    """Registering a description for an unknown extern turns snippets
+    containing it into sensor candidates (the §3.5 user option)."""
+    from repro.frontend.parser import parse_source
+    from repro.sensors import identify_vsensors
+
+    src = """
+    int main() {
+        int n;
+        for (n = 0; n < 5; n = n + 1) my_transfer(0, 64);
+        return 0;
+    }
+    """
+    assert identify_vsensors(parse_source(src)).sensors == []
+
+    reg = default_extern_registry()
+    reg.register(ExternModel("my_transfer", workload_args=(1,), ret=RET_CONST, category="net", dest_arg=0))
+    result = identify_vsensors(parse_source(src), externs=reg)
+    assert len(result.sensors) == 1

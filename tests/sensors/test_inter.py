@@ -1,0 +1,328 @@
+"""Inter-procedural analysis tests (§3.3, §3.5)."""
+
+import pytest
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import parse_source
+from repro.sensors import SnippetKind, identify_vsensors
+
+
+def ident(src):
+    return identify_vsensors(parse_source(src))
+
+
+def call_sensors(result, callee=None):
+    out = [s for s in result.sensors if s.snippet.kind is SnippetKind.CALL]
+    if callee is not None:
+        out = [s for s in out if isinstance(s.snippet.node, A.CallExpr) and s.snippet.node.callee == callee]
+    return out
+
+
+def test_call_with_constant_arg_is_sensor():
+    result = ident(
+        """
+        void work(int n) { int i; for (i = 0; i < n; i = i + 1) compute_units(5); }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) work(32);
+            return 0;
+        }
+        """
+    )
+    sensors = call_sensors(result, "work")
+    assert len(sensors) == 1
+    assert sensors[0].is_global
+
+
+def test_call_with_loop_index_arg_rejected():
+    result = ident(
+        """
+        void work(int n) { int i; for (i = 0; i < n; i = i + 1) compute_units(5); }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) work(t);
+            return 0;
+        }
+        """
+    )
+    assert call_sensors(result, "work") == []
+
+
+def test_workload_irrelevant_arg_ignored():
+    """y never feeds control flow in the callee, so varying it is fine."""
+    result = ident(
+        """
+        int work(int n, int y) {
+            int i; int acc = 0;
+            for (i = 0; i < n; i = i + 1) acc = acc + y;
+            return acc;
+        }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) work(32, t);
+            return 0;
+        }
+        """
+    )
+    sensors = call_sensors(result, "work")
+    assert len(sensors) == 1
+
+
+def test_inner_snippet_promoted_through_single_site():
+    """A callee loop depending on a param is global when the single call
+    site passes a program-constant."""
+    result = ident(
+        """
+        global int count = 0;
+        void work(int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) count = count + 1;
+        }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) work(32);
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.function == "work")
+    assert loop.is_global
+    assert loop.param_deps == {"n"}
+
+
+def test_inner_snippet_with_deps_not_promoted_across_two_sites():
+    """The loop in work depends on n and work is called with two different
+    constants: the records would mix two workloads, so the snippet is not a
+    sensor at all (it has no enclosing loop within work either)."""
+    result = ident(
+        """
+        global int count = 0;
+        void work(int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) count = count + 1;
+        }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) { work(32); work(64); }
+            return 0;
+        }
+        """
+    )
+    assert [s for s in result.sensors if s.function == "work"] == []
+    # The two call sites themselves remain (per-site) sensors.
+    assert len(call_sensors(result, "work")) == 2
+
+
+def test_dependency_free_snippet_promoted_across_many_sites():
+    result = ident(
+        """
+        global int count = 0;
+        void work() {
+            int i;
+            for (i = 0; i < 16; i = i + 1) count = count + 1;
+        }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) { work(); work(); work(); }
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.function == "work")
+    assert loop.is_global
+
+
+def test_global_dep_fixed_when_never_written():
+    result = ident(
+        """
+        global int N = 24;
+        global int count = 0;
+        void work() {
+            int i;
+            for (i = 0; i < N; i = i + 1) count = count + 1;
+        }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) work();
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.function == "work")
+    assert loop.is_global
+    assert loop.global_deps == {"N"}
+
+
+def test_global_dep_written_in_caller_loop_rejected():
+    result = ident(
+        """
+        global int N = 24;
+        global int count = 0;
+        void work() {
+            int i;
+            for (i = 0; i < N; i = i + 1) count = count + 1;
+        }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) { work(); N = N + 1; }
+            return 0;
+        }
+        """
+    )
+    work_sensors = [s for s in result.sensors if s.function == "work"]
+    # Fixed inside work (no enclosing loops there) but not globally.
+    assert all(not s.is_global for s in work_sensors)
+
+
+def test_call_to_recursive_function_never_sensor():
+    result = ident(
+        """
+        int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) fact(5);
+            return 0;
+        }
+        """
+    )
+    assert call_sensors(result, "fact") == []
+
+
+def test_snippets_inside_recursive_function_never_sensors():
+    result = ident(
+        """
+        global int count = 0;
+        int fact(int n) {
+            int i;
+            for (i = 0; i < 4; i = i + 1) count = count + 1;
+            if (n < 2) return 1;
+            return n * fact(n - 1);
+        }
+        int main() { fact(5); return 0; }
+        """
+    )
+    assert [s for s in result.sensors if s.function == "fact"] == []
+
+
+def test_address_taken_function_never_sensor():
+    result = ident(
+        """
+        global int count = 0;
+        void work() { int i; for (i = 0; i < 4; i = i + 1) count = count + 1; }
+        int main() {
+            int t;
+            funcptr p;
+            p = &work;
+            for (t = 0; t < 10; t = t + 1) work();
+            return 0;
+        }
+        """
+    )
+    assert [s for s in result.sensors if s.function == "work"] == []
+
+
+def test_undescribed_extern_poisons_snippet():
+    result = ident(
+        """
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) mystery_function(3);
+            return 0;
+        }
+        """
+    )
+    assert result.sensors == []
+
+
+def test_described_extern_with_constant_size_is_sensor():
+    result = ident(
+        """
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) MPI_Allreduce(64);
+            return 0;
+        }
+        """
+    )
+    assert len(call_sensors(result, "MPI_Allreduce")) == 1
+
+
+def test_described_extern_with_varying_size_rejected():
+    result = ident(
+        """
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) MPI_Allreduce(t);
+            return 0;
+        }
+        """
+    )
+    assert call_sensors(result, "MPI_Allreduce") == []
+
+
+def test_callee_return_value_feeding_bound():
+    """A bound computed by a pure callee from constants stays fixed."""
+    result = ident(
+        """
+        global int count = 0;
+        int bound() { return 12; }
+        int main() {
+            int t; int k; int m;
+            for (t = 0; t < 10; t = t + 1) {
+                m = bound();
+                for (k = 0; k < m; k = k + 1) count = count + 1;
+            }
+            return 0;
+        }
+        """
+    )
+    loops = [s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP and s.scope_loops]
+    assert len(loops) == 1
+
+
+def test_callee_return_from_rand_rejected():
+    result = ident(
+        """
+        global int count = 0;
+        int bound() { return rand() % 5; }
+        int main() {
+            int t; int k; int m;
+            for (t = 0; t < 10; t = t + 1) {
+                m = bound();
+                for (k = 0; k < m; k = k + 1) count = count + 1;
+            }
+            return 0;
+        }
+        """
+    )
+    inner = [s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP and s.snippet.depth == 1]
+    assert inner == []
+
+
+def test_transitive_promotion_two_levels():
+    result = ident(
+        """
+        global int count = 0;
+        void inner() { int i; for (i = 0; i < 8; i = i + 1) count = count + 1; }
+        void middle() { inner(); }
+        int main() {
+            int t;
+            for (t = 0; t < 10; t = t + 1) middle();
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.function == "inner")
+    assert loop.is_global
+
+
+def test_unreachable_function_not_global():
+    result = ident(
+        """
+        global int count = 0;
+        void orphan() { int i; for (i = 0; i < 8; i = i + 1) count = count + 1; }
+        int main() { return 0; }
+        """
+    )
+    orphan_sensors = [s for s in result.sensors if s.function == "orphan"]
+    assert all(not s.is_global for s in orphan_sensors)

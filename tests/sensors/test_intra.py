@@ -1,0 +1,240 @@
+"""Intra-procedural analysis unit tests (§3.2).
+
+Each test builds a small program and checks which snippets are sensors of
+which loops — exercising the dependency-propagation rules one at a time.
+"""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.sensors import SnippetKind, identify_vsensors
+
+
+def loop_sensors(src):
+    result = identify_vsensors(parse_source(src))
+    return [s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP], result
+
+
+def wrap(body):
+    return f"""
+    global int count = 0;
+    int main() {{
+        int n; int k; int m;
+        for (n = 0; n < 50; n = n + 1) {{
+            {body}
+        }}
+        return 0;
+    }}
+    """
+
+
+def test_constant_bound_subloop_is_sensor():
+    sensors, _ = loop_sensors(wrap("for (k = 0; k < 8; k = k + 1) count = count + 1;"))
+    assert len(sensors) == 1
+    assert sensors[0].is_global
+
+
+def test_outer_index_in_bound_is_variant():
+    sensors, _ = loop_sensors(wrap("for (k = 0; k < n; k = k + 1) count = count + 1;"))
+    assert sensors == []
+
+
+def test_outer_index_in_branch_is_variant():
+    sensors, _ = loop_sensors(
+        wrap("for (k = 0; k < 8; k = k + 1) { if (k < n) count = count + 1; }")
+    )
+    assert sensors == []
+
+
+def test_outer_index_in_step_is_variant():
+    sensors, _ = loop_sensors(wrap("for (k = 0; k < 8; k = k + n) count = count + 1;"))
+    assert sensors == []
+
+
+def test_value_rewritten_each_iteration_is_fixed():
+    """m is re-established to a constant inside the outer loop before use."""
+    sensors, _ = loop_sensors(
+        wrap("m = 6; for (k = 0; k < m; k = k + 1) count = count + 1;")
+    )
+    assert len(sensors) == 1
+
+
+def test_value_rewritten_from_outer_index_is_variant():
+    sensors, _ = loop_sensors(
+        wrap("m = n + 1; for (k = 0; k < m; k = k + 1) count = count + 1;")
+    )
+    assert sensors == []
+
+
+def test_accumulator_bound_is_variant():
+    """m grows across iterations of the outer loop (an accumulator)."""
+    sensors, _ = loop_sensors(
+        wrap("m = m + 1; for (k = 0; k < m; k = k + 1) count = count + 1;")
+    )
+    assert sensors == []
+
+
+def test_unreinitialized_inner_counter_is_variant():
+    """The inner loop keeps k's value across outer iterations."""
+    sensors, _ = loop_sensors(wrap("for (; k < 40; k = k + 1) count = count + 1;"))
+    assert sensors == []
+
+
+def test_mixed_pre_loop_and_in_loop_definition_is_variant():
+    """m is set before the loop and re-set after the subloop: the first
+    outer iteration sees the pre-loop value, later ones the in-loop value."""
+    src = """
+    global int count = 0;
+    int main() {
+        int n; int k; int m;
+        m = 6;
+        for (n = 0; n < 50; n = n + 1) {
+            for (k = 0; k < m; k = k + 1) count = count + 1;
+            m = 6;
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    assert sensors == []
+
+
+def test_pre_loop_constant_only_is_fixed():
+    src = """
+    global int count = 0;
+    int main() {
+        int n; int k; int m;
+        m = 6;
+        for (n = 0; n < 50; n = n + 1) {
+            for (k = 0; k < m; k = k + 1) count = count + 1;
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    assert len(sensors) == 1
+    assert sensors[0].is_global
+
+
+def test_array_bound_is_nonfixed():
+    src = """
+    global int sizes[4];
+    global int count = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 50; n = n + 1) {
+            for (k = 0; k < sizes[0]; k = k + 1) count = count + 1;
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    assert sensors == []
+
+
+def test_global_modified_in_loop_is_variant():
+    src = """
+    global int B = 10;
+    global int count = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 50; n = n + 1) {
+            for (k = 0; k < B; k = k + 1) count = count + 1;
+            B = B + 1;
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    assert sensors == []
+
+
+def test_global_never_modified_is_fixed():
+    src = """
+    global int B = 10;
+    global int count = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 50; n = n + 1) {
+            for (k = 0; k < B; k = k + 1) count = count + 1;
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    assert len(sensors) == 1
+
+
+def test_while_loop_with_constant_condition_work():
+    src = """
+    global int count = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 50; n = n + 1) {
+            k = 0;
+            while (k < 9) { count = count + 1; k = k + 1; }
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    # k is re-initialized right before the while: fixed.
+    assert len(sensors) == 1
+
+
+def test_while_on_unanalyzable_value_rejected():
+    src = """
+    global int count = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 50; n = n + 1) {
+            k = rand() % 5;
+            while (k > 0) { count = count + 1; k = k - 1; }
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    assert sensors == []
+
+
+def test_scope_chain_partial():
+    """Middle loop bound variant in the outer loop: sensor of inner only."""
+    src = """
+    global int count = 0;
+    int main() {
+        int a; int b; int c;
+        for (a = 0; a < 10; a = a + 1) {
+            for (b = 0; b < a + 2; b = b + 1) {
+                for (c = 0; c < 7; c = c + 1) count = count + 1;
+            }
+        }
+        return 0;
+    }
+    """
+    sensors, _ = loop_sensors(src)
+    # The c loop is fixed in b and in a (7 is constant): global.
+    # The b loop itself is variant in a.
+    assert len(sensors) == 1
+    assert sensors[0].is_global
+
+
+def test_uninitialized_local_bound_is_nonfixed():
+    sensors, _ = loop_sensors(wrap("for (k = 0; k < m; k = k + 1) count = count + 1;"))
+    assert sensors == []
+
+
+def test_snippet_depth_recorded():
+    src = """
+    global int count = 0;
+    int main() {
+        int a; int b;
+        for (a = 0; a < 10; a = a + 1) {
+            for (b = 0; b < 7; b = b + 1) count = count + 1;
+        }
+        return 0;
+    }
+    """
+    sensors, result = loop_sensors(src)
+    inner = next(s for s in sensors if s.scope_loops)
+    assert inner.snippet.depth == 1

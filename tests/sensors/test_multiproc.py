@@ -1,0 +1,121 @@
+"""Multi-process (rank) analysis tests (§3.4)."""
+
+from repro.frontend.parser import parse_source
+from repro.sensors import SnippetKind, identify_vsensors
+
+
+def ident(src):
+    return identify_vsensors(parse_source(src))
+
+
+def test_rank_in_branch_marks_rank_variant():
+    result = ident(
+        """
+        global int count = 0;
+        int main() {
+            int n; int k; int rank;
+            rank = MPI_Comm_rank();
+            for (n = 0; n < 10; n = n + 1) {
+                for (k = 0; k < 8; k = k + 1) { if (rank % 2) count = count + 1; }
+            }
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP)
+    assert not loop.rank_invariant
+    # Still a sensor (fixed over iterations for a given rank).
+    assert loop.is_global
+
+
+def test_rank_in_bound_marks_rank_variant():
+    result = ident(
+        """
+        global int count = 0;
+        int main() {
+            int n; int k; int rank;
+            rank = MPI_Comm_rank();
+            for (n = 0; n < 10; n = n + 1) {
+                for (k = 0; k < rank + 2; k = k + 1) count = count + 1;
+            }
+            return 0;
+        }
+        """
+    )
+    loop = next((s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP), None)
+    assert loop is not None
+    assert not loop.rank_invariant
+
+
+def test_gethostname_also_rank_source():
+    result = ident(
+        """
+        global int count = 0;
+        int main() {
+            int n; int k; int host;
+            host = gethostname();
+            for (n = 0; n < 10; n = n + 1) {
+                for (k = 0; k < 8; k = k + 1) { if (host > 3) count = count + 1; }
+            }
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP)
+    assert not loop.rank_invariant
+
+
+def test_comm_size_is_not_rank_dependent():
+    """Comm size is identical on every process: workload stays comparable."""
+    result = ident(
+        """
+        global int count = 0;
+        int main() {
+            int n; int k; int size;
+            size = MPI_Comm_size();
+            for (n = 0; n < 10; n = n + 1) {
+                for (k = 0; k < size; k = k + 1) count = count + 1;
+            }
+            return 0;
+        }
+        """
+    )
+    loop = next(s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP)
+    assert loop.rank_invariant
+
+
+def test_rank_dependence_propagates_through_callee():
+    result = ident(
+        """
+        global int count = 0;
+        int my_id() { return MPI_Comm_rank(); }
+        void work(int r) {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { if (r % 2) count = count + 1; }
+        }
+        int main() {
+            int n; int r;
+            r = my_id();
+            for (n = 0; n < 10; n = n + 1) work(r);
+            return 0;
+        }
+        """
+    )
+    call = next(s for s in result.sensors if s.function == "main" and s.snippet.kind is SnippetKind.CALL)
+    assert not call.rank_invariant
+
+
+def test_pure_computation_rank_invariant():
+    result = ident(
+        """
+        global int count = 0;
+        int main() {
+            int n; int k;
+            for (n = 0; n < 10; n = n + 1) {
+                for (k = 0; k < 8; k = k + 1) count = count + 1;
+            }
+            return 0;
+        }
+        """
+    )
+    assert all(s.rank_invariant for s in result.sensors)

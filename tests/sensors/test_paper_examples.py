@@ -1,0 +1,127 @@
+"""The paper's own identification examples, end to end (Figs. 4, 6, 8, 9).
+
+These tests pin the implementation to the published semantics: each
+assertion corresponds to a verdict the paper states in prose.
+"""
+
+import pytest
+
+from repro.frontend import ast_nodes as A
+from repro.sensors import SensorType, SnippetKind, identify_vsensors
+
+
+def sensors_by_line(result):
+    return {(s.function, s.loc.line, s.snippet.kind): s for s in result.sensors}
+
+
+class TestFigure4And8:
+    """The running example: foo(x, y) called as foo(n,k) and foo(k,n)."""
+
+    @pytest.fixture
+    def result(self, paper_module):
+        return identify_vsensors(paper_module)
+
+    def test_snippet_count(self, result):
+        # Loops: foo{i, j}, main{n, k, k}; calls: foo, foo, MPI_Barrier.
+        assert result.snippet_count == 8
+
+    def test_inner_j_loop_is_global_sensor(self, result):
+        """Paper: the fixed inner loop is a v-sensor of its parent and, being
+        argument/global independent, of the caller loops too."""
+        sensor = next(
+            s
+            for s in result.sensors
+            if s.function == "foo" and s.snippet.kind is SnippetKind.LOOP
+        )
+        assert sensor.is_global
+        assert sensor.is_function_scope
+
+    def test_i_loop_not_a_sensor(self, result):
+        """foo's outer loop depends on argument x which varies at call sites."""
+        foo_loops = [
+            s
+            for s in result.sensors
+            if s.function == "foo" and s.snippet.kind is SnippetKind.LOOP
+        ]
+        assert len(foo_loops) == 1  # only the j loop
+
+    def test_call1_sensor_of_k_loop_only(self, result):
+        """Call-1 foo(n, k): v-sensor of Loop-2 (k) but not Loop-1 (n)."""
+        calls = [
+            s
+            for s in result.sensors
+            if s.function == "main" and s.snippet.kind is SnippetKind.CALL
+            and isinstance(s.snippet.node, A.CallExpr)
+            and s.snippet.node.callee == "foo"
+        ]
+        assert len(calls) == 1
+        sensor = calls[0]
+        assert len(sensor.scope_loops) == 1
+        assert not sensor.is_function_scope
+        assert not sensor.is_global
+        # Call-2 foo(k, n) must be absent: its x argument varies in both loops.
+        first_args = sensor.snippet.node.args[0]
+        assert isinstance(first_args, A.VarRef) and first_args.name == "n"
+
+    def test_count_loop_is_global_sensor(self, result):
+        count_loops = [
+            s
+            for s in result.sensors
+            if s.function == "main" and s.snippet.kind is SnippetKind.LOOP
+        ]
+        assert len(count_loops) == 1
+        assert count_loops[0].is_global
+
+    def test_barrier_call_is_network_sensor(self, result):
+        barrier = next(
+            s
+            for s in result.sensors
+            if isinstance(s.snippet.node, A.CallExpr)
+            and s.snippet.node.callee == "MPI_Barrier"
+        )
+        assert barrier.sensor_type is SensorType.NETWORK
+        assert barrier.is_global
+
+
+class TestFigure6:
+    """Intra-procedural analysis: three subloops with different verdicts."""
+
+    @pytest.fixture
+    def result(self, fig6_module):
+        return identify_vsensors(fig6_module)
+
+    def test_only_constant_bound_loop_is_sensor(self, result):
+        loop_sensors = [s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP]
+        assert len(loop_sensors) == 1
+
+    def test_sensor_is_the_first_subloop(self, result, fig6_module):
+        sensor = next(s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP)
+        # First subloop starts on line 6 of the fixture source.
+        lines = [s.loc.line for s in result.sensors]
+        n_loop_line = fig6_module.function("main").body.stmts[2].loc.line
+        assert sensor.loc.line > n_loop_line  # inside the n loop
+
+    def test_variant_bound_loop_rejected(self, result, fig6_module):
+        # The k<n loop and the k<10-with-if(k<n) loop are both rejected.
+        assert result.sensor_count == 1
+
+
+class TestFigure9:
+    """Multi-process analysis: rank-dependent workload."""
+
+    @pytest.fixture
+    def result(self, fig9_module):
+        return identify_vsensors(fig9_module)
+
+    def test_both_loops_are_sensors(self, result):
+        loop_sensors = [s for s in result.sensors if s.snippet.kind is SnippetKind.LOOP]
+        assert len(loop_sensors) == 2
+
+    def test_rank_dependent_loop_flagged(self, result):
+        flags = sorted(s.rank_invariant for s in result.sensors if s.snippet.kind is SnippetKind.LOOP)
+        assert flags == [False, True]
+
+    def test_rank_invariant_loop_usable_across_processes(self, result):
+        invariant = [s for s in result.sensors if s.rank_invariant and s.snippet.kind is SnippetKind.LOOP]
+        assert len(invariant) == 1
+        assert invariant[0].is_global

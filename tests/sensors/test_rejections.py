@@ -1,0 +1,80 @@
+"""Rejection-reason ("explain") tests."""
+
+from repro.frontend.parser import parse_source
+from repro.sensors import identify_vsensors
+
+
+def rejections_of(src):
+    result = identify_vsensors(parse_source(src))
+    return {(s.function, s.loc.line): reason for s, reason in result.rejections}
+
+
+def test_variant_loop_has_reason():
+    src = """
+    global int c = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 10; n = n + 1) {
+            for (k = 0; k < n; k = k + 1) c = c + 1;
+        }
+        return 0;
+    }
+    """
+    reasons = rejections_of(src)
+    reason = reasons[("main", 6)]
+    assert "n" in reason  # names the varying variable
+
+
+def test_array_load_reason():
+    src = """
+    global int sizes[4];
+    global int c = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 10; n = n + 1) {
+            for (k = 0; k < sizes[0]; k = k + 1) c = c + 1;
+        }
+        return 0;
+    }
+    """
+    reasons = rejections_of(src)
+    assert "array load sizes[]" in reasons[("main", 7)]
+
+
+def test_undescribed_extern_reason():
+    src = """
+    int main() {
+        int n;
+        for (n = 0; n < 10; n = n + 1) mystery(n);
+        return 0;
+    }
+    """
+    reasons = rejections_of(src)
+    assert any("undescribed extern" in r for r in reasons.values())
+
+
+def test_recursive_function_reason():
+    src = """
+    global int c = 0;
+    int f(int n) {
+        int i;
+        for (i = 0; i < 4; i = i + 1) c = c + 1;
+        if (n) f(n - 1);
+        return 0;
+    }
+    int main() { f(3); return 0; }
+    """
+    reasons = rejections_of(src)
+    assert any("recursive" in r for r in reasons.values())
+
+
+def test_sensors_not_in_rejections(paper_module):
+    result = identify_vsensors(paper_module)
+    sensor_keys = {(s.function, s.loc.line) for s in result.sensors}
+    rejection_keys = {(s.function, s.loc.line) for s, _r in result.rejections}
+    assert not (sensor_keys & rejection_keys)
+
+
+def test_every_snippet_accounted_for(paper_module):
+    result = identify_vsensors(paper_module)
+    assert len(result.sensors) + len(result.rejections) == len(result.snippets)

@@ -1,0 +1,112 @@
+"""Virtual-clock tests: work-to-time integration."""
+
+import pytest
+
+from repro.sim.clock import RankClock
+from repro.sim.faults import BadNode, CpuContention, SlowMemoryNode
+from repro.sim.machine import MachineConfig, NodeConfig
+from repro.sim.noise import NodeNoise, NoiseConfig
+
+
+def make_clock(faults=(), cpu_speed=1.0, mem_perf=1.0, mem_fraction=0.4, noise=None):
+    noise_cfg = noise or NoiseConfig(
+        jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0
+    )
+    machine = MachineConfig(
+        n_ranks=1, ranks_per_node=1, mem_fraction=mem_fraction, noise=noise_cfg
+    )
+    node = NodeConfig(node_id=0, cpu_speed=cpu_speed, mem_perf=mem_perf)
+    return RankClock(
+        rank=0,
+        node=node,
+        noise=NodeNoise(noise_cfg, seed=1, node_id=0),
+        machine=machine,
+        faults=tuple(faults),
+    )
+
+
+def test_noise_free_unit_speed():
+    clock = make_clock()
+    start, end = clock.advance_compute(100.0)
+    assert start == 0.0
+    assert end == pytest.approx(100.0)
+
+
+def test_zero_work_no_advance():
+    clock = make_clock()
+    start, end = clock.advance_compute(0.0)
+    assert start == end == 0.0
+
+
+def test_faster_cpu_shorter_time():
+    slow = make_clock(cpu_speed=1.0)
+    fast = make_clock(cpu_speed=2.0)
+    _, t_slow = slow.advance_compute(100.0)
+    _, t_fast = fast.advance_compute(100.0)
+    assert t_fast == pytest.approx(t_slow / 2.0)
+
+
+def test_slow_memory_stretches_mem_fraction():
+    healthy = make_clock(mem_perf=1.0, mem_fraction=0.5)
+    degraded = make_clock(mem_perf=0.5, mem_fraction=0.5)
+    _, t_h = healthy.advance_compute(100.0)
+    _, t_d = degraded.advance_compute(100.0)
+    # time = work * (0.5/1 + 0.5/(1*mem)); mem=0.5 doubles the memory part.
+    assert t_d == pytest.approx(t_h * 1.5)
+
+
+def test_mem_fraction_zero_ignores_memory():
+    degraded = make_clock(mem_perf=0.25, mem_fraction=0.0)
+    _, t = degraded.advance_compute(100.0)
+    assert t == pytest.approx(100.0)
+
+
+def test_bad_node_fault_slows():
+    clock = make_clock(faults=[BadNode(node_id=0, cpu_factor=0.5, mem_factor=1.0)], mem_fraction=0.0)
+    _, t = clock.advance_compute(100.0)
+    assert t == pytest.approx(200.0)
+
+
+def test_contention_window_integration():
+    """Work spanning a fault boundary integrates piecewise."""
+    clock = make_clock(
+        faults=[CpuContention(node_ids=(0,), t0=50.0, t1=1e9, cpu_factor=0.5, mem_factor=1.0)],
+        mem_fraction=0.0,
+    )
+    _, t = clock.advance_compute(100.0)
+    # 50 units in the first 50us, remaining 50 units at half speed = 100us.
+    assert t == pytest.approx(150.0)
+
+
+def test_wall_advance():
+    clock = make_clock()
+    clock.advance_compute(10.0)
+    start, end = clock.advance_wall(25.0)
+    assert end - start == 25.0
+
+
+def test_wait_until_moves_forward_only():
+    clock = make_clock()
+    clock.wait_until(100.0)
+    assert clock.now == 100.0
+    clock.wait_until(50.0)
+    assert clock.now == 100.0
+
+
+def test_interrupt_loss_added():
+    noise = NoiseConfig(
+        jitter_sigma=0.0,
+        spike_rate_per_ms=0.0,
+        interrupt_period_us=50.0,
+        interrupt_duration_us=5.0,
+    )
+    clock = make_clock(noise=noise)
+    _, t = clock.advance_compute(100.0)
+    # 100us of work crosses interrupts at 50us and 100us -> +10us.
+    assert t == pytest.approx(110.0)
+
+
+def test_determinism_across_instances():
+    a = make_clock(noise=NoiseConfig())
+    b = make_clock(noise=NoiseConfig())
+    assert a.advance_compute(500.0) == b.advance_compute(500.0)

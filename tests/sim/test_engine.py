@@ -1,0 +1,169 @@
+"""Rendezvous-engine tests: collectives, p2p, rings, deadlock detection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.parser import parse_source
+from repro.sim import MachineConfig, Simulator
+from repro.sim.noise import NoiseConfig
+
+
+def quiet_machine(n_ranks, ranks_per_node=2):
+    return MachineConfig(
+        n_ranks=n_ranks,
+        ranks_per_node=ranks_per_node,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+
+
+def run(src, n_ranks=4):
+    return Simulator(parse_source(src), quiet_machine(n_ranks)).run()
+
+
+def test_barrier_synchronizes_all_ranks():
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        compute_units(r * 1000);
+        MPI_Barrier();
+        return 0;
+    }
+    """
+    result = run(src)
+    # All ranks finish at (nearly) the same time after the barrier.
+    times = result.finish_times()
+    assert max(times) - min(times) < 1.0
+
+
+def test_collective_count_matches_iterations():
+    src = """
+    int main() {
+        int i;
+        for (i = 0; i < 7; i = i + 1) MPI_Allreduce(8);
+        return 0;
+    }
+    """
+    result = run(src)
+    assert result.mpi_matches == 7
+
+
+def test_send_recv_pairing():
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        if (r == 0) MPI_Send(1, 64);
+        if (r == 1) MPI_Recv(0, 64);
+        MPI_Barrier();
+        return 0;
+    }
+    """
+    result = run(src, n_ranks=2)
+    assert result.mpi_matches == 2  # one p2p + one barrier
+
+
+def test_sendrecv_pairwise():
+    src = """
+    int main() {
+        int r; int peer;
+        r = MPI_Comm_rank();
+        if (r % 2 == 0) peer = r + 1;
+        else peer = r - 1;
+        MPI_Sendrecv(peer, 32);
+        return 0;
+    }
+    """
+    result = run(src, n_ranks=4)
+    assert result.total_time > 0
+
+
+def test_sendrecv_ring():
+    src = """
+    int main() {
+        int r; int size; int peer;
+        r = MPI_Comm_rank();
+        size = MPI_Comm_size();
+        peer = r + 1;
+        if (peer >= size) peer = 0;
+        MPI_Sendrecv(peer, 32);
+        return 0;
+    }
+    """
+    result = run(src, n_ranks=6)
+    assert result.total_time > 0
+
+
+def test_sendrecv_self_completes():
+    src = """
+    int main() {
+        MPI_Sendrecv(MPI_Comm_rank(), 32);
+        return 0;
+    }
+    """
+    result = run(src, n_ranks=1)
+    assert result.total_time > 0
+
+
+def test_unmatched_send_deadlocks():
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        if (r == 0) MPI_Send(1, 64);
+        return 0;
+    }
+    """
+    with pytest.raises(SimulationError, match="deadlock"):
+        run(src, n_ranks=2)
+
+
+def test_mismatched_collectives_deadlock():
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        if (r == 0) MPI_Barrier();
+        return 0;
+    }
+    """
+    with pytest.raises(SimulationError, match="deadlock"):
+        run(src, n_ranks=2)
+
+
+def test_skew_propagates_through_collective():
+    """The slowest rank determines collective completion."""
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        if (r == 0) compute_units(50000);
+        MPI_Barrier();
+        return 0;
+    }
+    """
+    result = run(src)
+    assert min(result.finish_times()) > 50000 * 0.9
+
+
+def test_deterministic_repeat_runs():
+    src = """
+    int main() {
+        int i;
+        for (i = 0; i < 5; i = i + 1) { compute_units(100); MPI_Allreduce(4); }
+        return 0;
+    }
+    """
+    module = parse_source(src)
+    r1 = Simulator(module, quiet_machine(4)).run()
+    r2 = Simulator(module, quiet_machine(4)).run()
+    assert r1.total_time == r2.total_time
+    assert r1.finish_times() == r2.finish_times()
+
+
+def test_rank_results_populated():
+    result = run("int main() { compute_units(10); MPI_Barrier(); return 0; }")
+    assert len(result.ranks) == 4
+    for r in result.ranks:
+        assert r.total_work > 0
+        assert r.finish_time > 0

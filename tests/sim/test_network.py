@@ -1,0 +1,64 @@
+"""Network cost-model tests."""
+
+import pytest
+
+from repro.sim.faults import NetworkDegradation
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkModel
+
+
+def model(faults=(), **kwargs):
+    machine = MachineConfig(n_ranks=8, ranks_per_node=4, **kwargs)
+    return NetworkModel(machine=machine, faults=tuple(faults))
+
+
+def test_p2p_hockney_model():
+    net = model(net_alpha=5.0, net_beta=0.1)
+    assert net.p2p(0.0, 100.0) == pytest.approx(5.0 + 10.0)
+
+
+def test_p2p_zero_size_latency_only():
+    net = model(net_alpha=5.0, net_beta=0.1)
+    assert net.p2p(0.0, 0.0) == pytest.approx(5.0)
+
+
+def test_degradation_stretches_transfers():
+    net = model(faults=[NetworkDegradation(t0=100.0, t1=200.0, factor=0.25)])
+    before = net.p2p(50.0, 64.0)
+    during = net.p2p(150.0, 64.0)
+    after = net.p2p(250.0, 64.0)
+    assert during == pytest.approx(before * 4.0)
+    assert after == pytest.approx(before)
+
+
+def test_collective_scales_with_ranks():
+    net = model()
+    small = net.collective("allreduce", 0.0, 64.0, 4)
+    large = net.collective("allreduce", 0.0, 64.0, 64)
+    assert large > small
+
+
+def test_alltoall_most_expensive_at_scale():
+    net = model()
+    n = 64
+    alltoall = net.collective("alltoall", 0.0, 256.0, n)
+    allreduce = net.collective("allreduce", 0.0, 256.0, n)
+    barrier = net.collective("barrier", 0.0, 0.0, n)
+    assert alltoall > allreduce > barrier
+
+
+def test_barrier_size_independent():
+    net = model()
+    assert net.collective("barrier", 0.0, 0.0, 16) == net.collective("barrier", 0.0, 1e6, 16)
+
+
+def test_unknown_collective_falls_back_to_base():
+    net = model(net_alpha=5.0, net_beta=0.1)
+    assert net.collective("exotic", 0.0, 10.0, 8) == pytest.approx(6.0)
+
+
+def test_degradation_applies_to_collectives():
+    net = model(faults=[NetworkDegradation(t0=0.0, t1=100.0, factor=0.5)])
+    during = net.collective("alltoall", 50.0, 64.0, 16)
+    after = net.collective("alltoall", 150.0, 64.0, 16)
+    assert during == pytest.approx(after * 2.0)

@@ -1,0 +1,56 @@
+"""Noise-model tests."""
+
+import numpy as np
+
+from repro.sim.noise import NodeNoise, NoiseConfig
+
+
+def test_deterministic_given_seed():
+    a = NodeNoise(NoiseConfig(), seed=1, node_id=0)
+    b = NodeNoise(NoiseConfig(), seed=1, node_id=0)
+    for t in [0.0, 123.4, 9999.0]:
+        assert a.speed_multiplier(t) == b.speed_multiplier(t)
+
+
+def test_different_nodes_differ():
+    a = NodeNoise(NoiseConfig(), seed=1, node_id=0)
+    b = NodeNoise(NoiseConfig(), seed=1, node_id=1)
+    samples_a = [a.speed_multiplier(t) for t in np.arange(0, 5000, 73.0)]
+    samples_b = [b.speed_multiplier(t) for t in np.arange(0, 5000, 73.0)]
+    assert samples_a != samples_b
+
+
+def test_multiplier_never_speeds_up():
+    noise = NodeNoise(NoiseConfig(jitter_sigma=0.3), seed=3, node_id=0)
+    for t in np.arange(0, 20000, 111.0):
+        assert 0.0 < noise.speed_multiplier(t) <= 1.0
+
+
+def test_zero_sigma_disables_jitter():
+    noise = NodeNoise(
+        NoiseConfig(jitter_sigma=0.0, spike_rate_per_ms=0.0), seed=3, node_id=0
+    )
+    assert noise.speed_multiplier(42.0) == 1.0
+
+
+def test_jitter_constant_within_slice():
+    cfg = NoiseConfig(jitter_slice_us=100.0, spike_rate_per_ms=0.0)
+    noise = NodeNoise(cfg, seed=5, node_id=0)
+    assert noise.speed_multiplier(10.0) == noise.speed_multiplier(90.0)
+    # Different slices resample.
+    samples = {noise.speed_multiplier(100.0 * k + 5) for k in range(50)}
+    assert len(samples) > 1
+
+
+def test_interrupt_loss_counts_periods():
+    cfg = NoiseConfig(interrupt_period_us=1000.0, interrupt_duration_us=10.0)
+    noise = NodeNoise(cfg, seed=1, node_id=0)
+    assert noise.interrupt_loss(0.0, 3500.0) == 30.0
+    assert noise.interrupt_loss(900.0, 1100.0) == 10.0
+    assert noise.interrupt_loss(100.0, 900.0) == 0.0
+
+
+def test_interrupt_disabled():
+    cfg = NoiseConfig(interrupt_period_us=0.0)
+    noise = NodeNoise(cfg, seed=1, node_id=0)
+    assert noise.interrupt_loss(0.0, 1e6) == 0.0

@@ -1,0 +1,34 @@
+"""Simulated-PMU tests."""
+
+from repro.sim.faults import SlowMemoryNode
+from repro.sim.pmu import Pmu
+
+
+def test_overcount_never_undercount():
+    pmu = Pmu(seed=1, rank=0, faults=(), node_id=0)
+    for _ in range(100):
+        sample = pmu.read(1000.0, 0.0)
+        assert sample.instructions >= 1000.0
+
+
+def test_error_is_small():
+    pmu = Pmu(seed=1, rank=0, faults=(), node_id=0, relative_error=0.01)
+    samples = [pmu.read(1000.0, 0.0).instructions for _ in range(200)]
+    assert max(samples) / min(samples) < 1.10
+
+
+def test_deterministic_given_seed():
+    a = Pmu(seed=7, rank=3, faults=(), node_id=0)
+    b = Pmu(seed=7, rank=3, faults=(), node_id=0)
+    assert a.read(500.0, 1.0).instructions == b.read(500.0, 1.0).instructions
+
+
+def test_cache_miss_elevated_on_slow_memory():
+    healthy = Pmu(seed=1, rank=0, faults=(), node_id=0)
+    sick = Pmu(seed=1, rank=0, faults=(SlowMemoryNode(node_id=0, mem_factor=0.4),), node_id=0)
+    assert sick.read(100.0, 10.0).cache_miss_rate > healthy.read(100.0, 10.0).cache_miss_rate
+
+
+def test_miss_rate_bounded():
+    pmu = Pmu(seed=1, rank=0, faults=(SlowMemoryNode(node_id=0, mem_factor=0.01),), node_id=0)
+    assert pmu.read(100.0, 0.0).cache_miss_rate <= 0.95 * 1.1 + 1e-9

@@ -1,0 +1,68 @@
+"""High-level API surface tests."""
+
+import pytest
+
+from repro.api import StaticResult, compile_and_instrument, run_uninstrumented, run_vsensor
+from repro.instrument.annotations import Annotations, SnippetRef
+from repro.sim import MachineConfig
+from tests.conftest import SIMPLE_MPI_PROGRAM
+
+
+def test_static_result_fields():
+    static = compile_and_instrument(SIMPLE_MPI_PROGRAM)
+    assert isinstance(static, StaticResult)
+    assert static.module.has_function("main")
+    assert static.identification.sensor_count > 0
+    assert "vs_tick" in static.source
+
+
+def test_min_estimated_work_parameter():
+    full = compile_and_instrument(SIMPLE_MPI_PROGRAM)
+    filtered = compile_and_instrument(SIMPLE_MPI_PROGRAM, min_estimated_work=1e9)
+    assert len(filtered.plan.selected) <= len(full.plan.selected)
+
+
+def test_annotations_parameter():
+    # Exclude every identified sensor: nothing instrumented.
+    probe = compile_and_instrument(SIMPLE_MPI_PROGRAM)
+    marks = Annotations(
+        exclude=[SnippetRef(s.function, s.loc.line) for s in probe.identification.sensors]
+    )
+    static = compile_and_instrument(SIMPLE_MPI_PROGRAM, annotations=marks)
+    assert static.plan.selected == []
+    assert "vs_tick" not in static.source
+
+
+def test_run_vsensor_returns_everything():
+    run = run_vsensor(SIMPLE_MPI_PROGRAM, MachineConfig(n_ranks=4, ranks_per_node=2))
+    assert run.sim.total_time > 0
+    assert run.report is not None
+    assert run.runtime.server.summaries_received > 0
+    assert run.static.plan.selected
+
+
+def test_run_uninstrumented_has_no_records():
+    result = run_uninstrumented(SIMPLE_MPI_PROGRAM, MachineConfig(n_ranks=4, ranks_per_node=2))
+    assert all(r.sensor_records == 0 for r in result.ranks)
+
+
+def test_extra_hooks_receive_events():
+    from repro.sim.hooks import RawRecorder
+
+    recorder = RawRecorder()
+    run = run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        extra_hooks=[recorder],
+    )
+    assert len(recorder.records) == sum(r.sensor_records for r in run.sim.ranks)
+
+
+def test_seed_controls_determinism():
+    m1 = MachineConfig(n_ranks=4, ranks_per_node=2, seed=1)
+    m2 = MachineConfig(n_ranks=4, ranks_per_node=2, seed=2)
+    r1a = run_vsensor(SIMPLE_MPI_PROGRAM, m1)
+    r1b = run_vsensor(SIMPLE_MPI_PROGRAM, MachineConfig(n_ranks=4, ranks_per_node=2, seed=1))
+    r2 = run_vsensor(SIMPLE_MPI_PROGRAM, m2)
+    assert r1a.sim.total_time == r1b.sim.total_time
+    assert r1a.sim.total_time != r2.sim.total_time

@@ -1,0 +1,144 @@
+"""CLI tests (in-process, via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main, parse_fault
+from repro.errors import ReproError
+from repro.sim import BadNode, CpuContention, NetworkDegradation, SlowMemoryNode
+
+
+PROGRAM = """
+global int NITER = 5;
+void kernel() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) compute_units(20);
+}
+int main() {
+    int n;
+    for (n = 0; n < NITER; n = n + 1) {
+        kernel();
+        MPI_Barrier();
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.vsn"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestParseFault:
+    def test_slowmem(self):
+        fault = parse_fault("slowmem:3:0.5")
+        assert isinstance(fault, SlowMemoryNode)
+        assert fault.node_id == 3 and fault.mem_factor == 0.5
+
+    def test_slowmem_default_factor(self):
+        assert parse_fault("slowmem:1").mem_factor == 0.55
+
+    def test_badnode(self):
+        fault = parse_fault("badnode:2:0.7")
+        assert isinstance(fault, BadNode)
+        assert fault.cpu_factor == 0.7
+
+    def test_contention_multiple_nodes(self):
+        fault = parse_fault("contention:1,3:10:20:0.4")
+        assert isinstance(fault, CpuContention)
+        assert fault.node_ids == (1, 3)
+        assert fault.t0 == 10_000.0 and fault.t1 == 20_000.0
+
+    def test_netdeg(self):
+        fault = parse_fault("netdeg:5:15:0.25")
+        assert isinstance(fault, NetworkDegradation)
+        assert fault.factor == 0.25
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            parse_fault("gremlins:1")
+
+    def test_malformed(self):
+        with pytest.raises(ReproError, match="bad fault spec"):
+            parse_fault("slowmem:not_a_number")
+
+
+class TestCommands:
+    def test_identify(self, program_file, capsys):
+        assert main(["identify", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "snippet candidates" in out
+        assert "call kernel" in out
+
+    def test_identify_workload(self, capsys):
+        assert main(["identify", "--workload", "CG"]) == 0
+        out = capsys.readouterr().out
+        assert "identified sensors" in out
+
+    def test_instrument_stdout(self, program_file, capsys):
+        assert main(["instrument", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "vs_tick" in out and "vs_tock" in out
+
+    def test_instrument_to_file(self, program_file, tmp_path, capsys):
+        out_path = tmp_path / "instrumented.vsn"
+        assert main(["instrument", program_file, "-o", str(out_path)]) == 0
+        assert "vs_tick" in out_path.read_text()
+
+    def test_run_with_fault(self, program_file, capsys):
+        code = main(
+            [
+                "run",
+                program_file,
+                "--ranks",
+                "4",
+                "--ranks-per-node",
+                "2",
+                "--fault",
+                "slowmem:1:0.5",
+                "--window-ms",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total time" in out
+        assert "performance matrix" in out
+
+    def test_run_export(self, program_file, tmp_path, capsys):
+        stem = str(tmp_path / "matrix")
+        assert (
+            main(
+                [
+                    "run",
+                    program_file,
+                    "--ranks",
+                    "4",
+                    "--ranks-per-node",
+                    "2",
+                    "--export",
+                    stem,
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "matrix_comp.pgm").exists()
+        assert (tmp_path / "matrix_comp.csv").exists()
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BT", "CG", "FT", "AMG"):
+            assert name in out
+
+    def test_missing_file_error(self, capsys):
+        assert main(["identify", "/nonexistent/prog.vsn"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_fault_error(self, program_file, capsys):
+        assert main(["run", program_file, "--fault", "zap:1"]) == 2
+
+    def test_no_program_no_workload(self, capsys):
+        assert main(["identify"]) == 2

@@ -1,0 +1,47 @@
+"""Smoke tests for the example scripts (the fast ones run end to end)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "bad_node_hunt",
+        "network_degradation",
+        "noise_injection_study",
+        "custom_program",
+        "live_monitoring",
+    ],
+)
+def test_example_importable_and_has_main(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Suspect ranks" in out
+    assert "[8, 9, 10, 11]" in out
+
+
+def test_custom_program_runs(capsys):
+    load_example("custom_program").main()
+    out = capsys.readouterr().out
+    assert "with the model" in out
+    assert "dynamic-rule groups" in out

@@ -1,0 +1,75 @@
+"""Figure-data helper tests (Figs. 12, 15-17)."""
+
+import numpy as np
+import pytest
+
+from repro.viz.figures import (
+    duration_histogram,
+    interval_histogram,
+    intervals_between_senses,
+    sense_stats,
+    series_to_csv,
+)
+
+
+def test_duration_buckets():
+    durations = np.array([10.0, 50.0, 500.0, 50_000.0, 2_000_000.0])
+    hist = duration_histogram(durations)
+    assert hist["<100us"] == 2
+    assert hist["100us~10ms"] == 1
+    assert hist["10ms~1s"] == 1
+    assert hist[">1s"] == 1
+
+
+def test_interval_buckets_same_scheme():
+    hist = interval_histogram(np.array([5.0]))
+    assert hist["<100us"] == 1
+
+
+def test_empty_histogram():
+    hist = duration_histogram(np.array([]))
+    assert sum(hist.values()) == 0
+
+
+def test_sense_stats_coverage():
+    starts = np.array([0.0, 100.0, 200.0])
+    ends = np.array([50.0, 150.0, 250.0])
+    stats = sense_stats(starts, ends, total_time_us=300.0)
+    assert stats.coverage == pytest.approx(0.5)
+    assert stats.frequency_mhz == pytest.approx(3 / 300.0)
+
+
+def test_sense_stats_merges_overlaps():
+    starts = np.array([0.0, 25.0])
+    ends = np.array([50.0, 75.0])
+    stats = sense_stats(starts, ends, total_time_us=100.0)
+    assert stats.sense_time_us == pytest.approx(75.0)
+
+
+def test_sense_stats_empty():
+    stats = sense_stats(np.array([]), np.array([]), total_time_us=100.0)
+    assert stats.coverage == 0.0
+    assert stats.sense_count == 0
+
+
+def test_intervals_between_senses():
+    starts = np.array([0.0, 100.0, 300.0])
+    ends = np.array([50.0, 150.0, 350.0])
+    gaps = intervals_between_senses(starts, ends)
+    assert list(gaps) == [50.0, 150.0]
+
+
+def test_intervals_unsorted_input():
+    starts = np.array([300.0, 0.0])
+    ends = np.array([350.0, 50.0])
+    gaps = intervals_between_senses(starts, ends)
+    assert list(gaps) == [250.0]
+
+
+def test_series_to_csv(tmp_path):
+    path = tmp_path / "series.csv"
+    series_to_csv(str(path), {"a": np.array([1.0, 2.0]), "b": np.array([3.0])})
+    lines = path.read_text().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,3"
+    assert lines[2] == "2,"

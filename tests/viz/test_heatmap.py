@@ -1,0 +1,76 @@
+"""Visualizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_heatmap, matrix_to_csv, summarize_matrix, write_pgm
+
+
+def test_ascii_shape():
+    matrix = np.ones((4, 10))
+    art = ascii_heatmap(matrix)
+    lines = art.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == 10 for l in lines)
+
+
+def test_best_renders_dense_degraded_light():
+    matrix = np.array([[1.0, 0.5]])
+    art = ascii_heatmap(matrix)
+    dense, light = art[0], art[1]
+    assert dense == "@"
+    assert light == " "
+
+
+def test_nan_renders_question_mark():
+    matrix = np.array([[np.nan, 1.0]])
+    assert ascii_heatmap(matrix)[0] == "?"
+
+
+def test_downsampling_bounds_output():
+    matrix = np.ones((200, 500))
+    art = ascii_heatmap(matrix, max_rows=20, max_cols=50)
+    lines = art.splitlines()
+    assert len(lines) <= 20
+    assert all(len(l) <= 50 for l in lines)
+
+
+def test_non_2d_raises():
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.ones(5))
+
+
+def test_pgm_export(tmp_path):
+    matrix = np.array([[1.0, 0.5], [np.nan, 0.75]])
+    path = tmp_path / "matrix.pgm"
+    write_pgm(matrix, str(path))
+    data = path.read_bytes()
+    assert data.startswith(b"P5\n2 2\n255\n")
+    pixels = data.split(b"255\n", 1)[1]
+    assert len(pixels) == 4
+    assert pixels[0] == 0      # perf 1.0 -> dark
+    assert pixels[1] == 255    # perf 0.5 -> white
+    assert pixels[2] == 128    # NaN -> mid gray
+
+
+def test_csv_export(tmp_path):
+    matrix = np.array([[1.0, np.nan], [0.5, 0.8]])
+    path = tmp_path / "matrix.csv"
+    matrix_to_csv(matrix, str(path), window_us=200_000.0)
+    lines = path.read_text().splitlines()
+    assert lines[0] == "rank,0.000,0.200"
+    assert lines[1] == "0,1.0000,"
+    assert lines[2].startswith("1,0.5000")
+
+
+def test_summarize_matrix():
+    matrix = np.array([[1.0, 0.5, np.nan]])
+    stats = summarize_matrix(matrix)
+    assert stats["cells"] == 2
+    assert stats["min"] == 0.5
+    assert stats["low_fraction"] == pytest.approx(0.5)
+
+
+def test_summarize_empty():
+    stats = summarize_matrix(np.full((2, 2), np.nan))
+    assert stats["cells"] == 0

@@ -1,0 +1,46 @@
+"""SVG exporter tests."""
+
+import numpy as np
+import pytest
+
+from repro.viz.svg import _perf_color, histogram_to_svg, matrix_to_svg
+
+
+def test_matrix_svg_written(tmp_path):
+    path = tmp_path / "m.svg"
+    matrix = np.array([[1.0, 0.5], [np.nan, 0.8]])
+    matrix_to_svg(matrix, str(path), title="Comp performance")
+    text = path.read_text()
+    assert text.startswith("<svg")
+    assert text.count("<rect") == 4
+    assert "Comp performance" in text
+    assert "Process ID" in text and "Time progress" in text
+
+
+def test_perf_color_endpoints():
+    assert _perf_color(1.0) != _perf_color(0.5)
+    assert _perf_color(float("nan")) == "#d0d0d0"
+    # Degraded is lighter (higher red channel) than best.
+    best = int(_perf_color(1.0)[1:3], 16)
+    worst = int(_perf_color(0.5)[1:3], 16)
+    assert worst > best
+
+
+def test_color_clipped_outside_range():
+    assert _perf_color(2.0) == _perf_color(1.0)
+    assert _perf_color(0.0) == _perf_color(0.5)
+
+
+def test_histogram_svg(tmp_path):
+    path = tmp_path / "h.svg"
+    histogram_to_svg({"<100us": 1000, "100us~10ms": 10, ">1s": 0}, str(path), title="durations")
+    text = path.read_text()
+    assert text.count("<rect") == 3
+    assert "1000" in text and "durations" in text
+
+
+def test_title_escaped(tmp_path):
+    path = tmp_path / "e.svg"
+    matrix_to_svg(np.ones((1, 1)), str(path), title="a<b & c>d")
+    text = path.read_text()
+    assert "a&lt;b &amp; c&gt;d" in text

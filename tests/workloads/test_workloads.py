@@ -1,0 +1,93 @@
+"""Workload-analogue tests: structure and analyzability."""
+
+import pytest
+
+from repro.api import compile_and_instrument
+from repro.frontend.parser import parse_source
+from repro.workloads import all_workloads
+
+NAMES = ["BT", "CG", "FT", "LU", "SP", "AMG", "LULESH", "RAXML"]
+
+
+@pytest.fixture(scope="module")
+def statics():
+    return {name: compile_and_instrument(all_workloads()[name].source()) for name in NAMES}
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_sources_parse(name):
+    parse_source(all_workloads()[name].source())
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_each_has_sensors(name, statics):
+    assert statics[name].identification.sensor_count > 0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_each_instruments_something(name, statics):
+    assert len(statics[name].plan.selected) > 0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_instrumented_source_reparses(name, statics):
+    parse_source(statics[name].source)
+
+
+def test_ft_is_alltoall_dominated(statics):
+    """FT must carry an MPI_Alltoall network sensor (the §6.5 showcase)."""
+    from repro.frontend import ast_nodes as A
+
+    sensors = statics["FT"].plan.selected
+    names = {
+        s.snippet.node.callee
+        for s in sensors
+        if isinstance(s.snippet.node, A.CallExpr)
+    }
+    assert any("transpose" in n or "Alltoall" in n for n in names)
+
+
+def test_amg_has_low_sensor_fraction(statics):
+    """Adaptive refinement defeats most of AMG's snippets (Table 1)."""
+    frac = {}
+    for name in NAMES:
+        ident = statics[name].identification
+        frac[name] = ident.sensor_count / max(1, ident.snippet_count)
+    assert frac["AMG"] == min(frac.values())
+
+
+def test_bt_has_most_comp_sensors(statics):
+    """BT is the paper's high computation-sensor-count program."""
+    from repro.sensors.model import SensorType
+
+    comp_counts = {
+        name: sum(
+            1
+            for s in statics[name].plan.selected
+            if s.sensor_type is SensorType.COMPUTATION
+        )
+        for name in NAMES
+    }
+    assert comp_counts["BT"] == max(comp_counts.values())
+
+
+def test_scale_parameter_grows_source_iterations():
+    wl = all_workloads()["CG"]
+    assert "NITER = 15" in wl.source(1)
+    assert "NITER = 30" in wl.source(2)
+
+
+def test_kloc_positive():
+    for name in NAMES:
+        assert all_workloads()[name].kloc() > 0
+
+
+def test_machine_factory():
+    machine = all_workloads()["CG"].machine(n_ranks=16)
+    assert machine.n_ranks == 16
+
+
+def test_get_workload_case_insensitive():
+    from repro.workloads import get_workload
+
+    assert get_workload("cg").name == "CG"
