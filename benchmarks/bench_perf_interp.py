@@ -1,0 +1,107 @@
+"""Interpreter-tier performance trajectory: AST reference vs bytecode VM.
+
+Times uninstrumented and instrumented runs of CG / FT / LULESH at
+8 / 32 / 128 ranks under both engine tiers and writes the measurements to
+``BENCH_interp.json`` at the repo root — the start of a recorded benchmark
+trajectory, so hot-loop regressions show up as data rather than anecdotes.
+
+The shape this pins: the bytecode tier wins everywhere, and by ≥3× on the
+128-rank CG configuration (the Fig. 21 bad-node scale).  Noise-draw caches
+are cleared before every timed run so neither tier benefits from the
+other's warm-up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.api import run_uninstrumented, run_vsensor
+from repro.sim import noise
+from repro.workloads import all_workloads
+
+PROGRAMS = ["CG", "FT", "LULESH"]
+RANK_COUNTS = [8, 32, 128]
+ENGINES = ["ast", "bytecode"]
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_interp.json")
+
+
+def _timed(fn) -> float:
+    # Fresh noise caches per measurement: the draws are deterministic, so a
+    # warm cache from a previous run would understate the second tier's cost.
+    noise._JITTER_CACHE.clear()
+    noise._SPIKE_CACHE.clear()
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.mark.slow
+def test_interp_tier_trajectory():
+    rows = []
+    for name in PROGRAMS:
+        workload = all_workloads()[name]
+        source = workload.source()
+        for n_ranks in RANK_COUNTS:
+            machine = workload.machine(n_ranks=n_ranks)
+            for engine in ENGINES:
+                seconds = _timed(
+                    lambda: run_uninstrumented(source, machine, engine=engine)
+                )
+                rows.append(
+                    {"workload": name, "ranks": n_ranks, "mode": "uninstrumented",
+                     "engine": engine, "seconds": round(seconds, 4)}
+                )
+                seconds = _timed(
+                    lambda: run_vsensor(source, machine, engine=engine)
+                )
+                rows.append(
+                    {"workload": name, "ranks": n_ranks, "mode": "instrumented",
+                     "engine": engine, "seconds": round(seconds, 4)}
+                )
+
+    def seconds_of(name, ranks, mode, engine):
+        for row in rows:
+            if (row["workload"], row["ranks"], row["mode"], row["engine"]) == (
+                name, ranks, mode, engine
+            ):
+                return row["seconds"]
+        raise KeyError((name, ranks, mode, engine))
+
+    speedups = {}
+    for name in PROGRAMS:
+        for n_ranks in RANK_COUNTS:
+            for mode in ("uninstrumented", "instrumented"):
+                ast_s = seconds_of(name, n_ranks, mode, "ast")
+                bc_s = seconds_of(name, n_ranks, mode, "bytecode")
+                speedups[f"{name}@{n_ranks}/{mode}"] = round(ast_s / bc_s, 2)
+
+    payload = {
+        "benchmark": "interpreter tier: AST reference vs bytecode VM",
+        "unit": "wall-clock seconds per full simulation",
+        "results": rows,
+        "speedups": speedups,
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\n{'config':<28s} {'ast':>8s} {'bytecode':>9s} {'speedup':>8s}")
+    for key, speedup in speedups.items():
+        name, rest = key.split("@")
+        ranks, mode = rest.split("/")
+        ast_s = seconds_of(name, int(ranks), mode, "ast")
+        bc_s = seconds_of(name, int(ranks), mode, "bytecode")
+        print(f"{key:<28s} {ast_s:>8.2f} {bc_s:>9.2f} {speedup:>7.2f}x")
+
+    # The acceptance gate: ≥3× on the 128-rank CG configuration.
+    assert speedups["CG@128/uninstrumented"] >= 3.0
+    # And the bytecode tier should win every configuration outright.
+    assert all(s > 1.0 for s in speedups.values())
+
+
+if __name__ == "__main__":
+    test_interp_tier_trajectory()

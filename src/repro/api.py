@@ -91,6 +91,7 @@ def run_vsensor(
     batch_period_us: float = 100_000.0,
     extra_hooks: Sequence = (),
     live=None,
+    engine: str = "bytecode",
 ) -> VSensorRun:
     """Compile, instrument, simulate and analyze one program.
 
@@ -125,6 +126,7 @@ def run_vsensor(
         faults=tuple(faults),
         sensors=static.program.sensors,
         externs=externs,
+        engine=engine,
     ).run(hooks)
     run = VSensorRun(static=static, sim=sim, runtime=runtime)
     run.report = runtime.report(sim.total_time)
@@ -135,7 +137,8 @@ def run_uninstrumented(
     source: str,
     machine: MachineConfig,
     faults: Sequence[Fault] = (),
+    engine: str = "bytecode",
 ) -> SimResult:
     """Simulate the original (probe-free) program — the overhead baseline."""
     module = parse_source(source)
-    return Simulator(module, machine, faults=tuple(faults)).run()
+    return Simulator(module, machine, faults=tuple(faults), engine=engine).run()

@@ -124,13 +124,32 @@ def cmd_run(args) -> int:
         seed=args.seed,
     )
     faults = [parse_fault(spec) for spec in args.fault or []]
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     run = run_vsensor(
         source,
         machine,
         faults=faults,
         max_depth=args.max_depth,
         window_us=args.window_ms * 1000.0,
+        engine=args.engine,
     )
+    if profiler is not None:
+        import io
+        import pstats
+        from pathlib import Path
+
+        profiler.disable()
+        out = Path("out")
+        out.mkdir(exist_ok=True)
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(40)
+        (out / "profile.txt").write_text(buf.getvalue())
+        print("profile written to out/profile.txt")
     print(f"instrumented : {run.static.plan.summary()}")
     print(f"total time   : {run.sim.total_time / 1e3:.2f} ms")
     print(run.report.summary())
@@ -195,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--export", help="path stem for PGM/CSV matrix export")
     p_run.add_argument("--matrix-rows", type=int, default=32)
     p_run.add_argument("--matrix-cols", type=int, default=70)
+    p_run.add_argument(
+        "--engine",
+        choices=("bytecode", "ast"),
+        default="bytecode",
+        help="interpreter tier: compiled register VM (default) or the AST reference",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation with cProfile and write out/profile.txt",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_wl = sub.add_parser("workloads", help="list bundled workload analogues")

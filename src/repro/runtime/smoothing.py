@@ -14,11 +14,9 @@ from repro.runtime.records import SensorRecord, SliceSummary
 from repro.sensors.model import SensorType
 
 
-@dataclass(slots=True)
-class _SliceAccum:
-    total_duration: float = 0.0
-    total_miss: float = 0.0
-    count: int = 0
+#: shared result for the no-rollover case — callers only iterate it, and it
+#: saves a list allocation on every record between slice boundaries
+_NO_SUMMARIES: tuple[SliceSummary, ...] = ()
 
 
 @dataclass(slots=True)
@@ -28,40 +26,42 @@ class SliceAggregator:
     Records for each (sensor, group) are accumulated until a record falls
     into a later slice, at which point the finished slice is emitted.  The
     stream is time-ordered per rank by construction (the rank's own clock).
+
+    The open slice per key is a mutable ``[slice_index, total_duration,
+    total_miss, count]`` list updated in place: the common case (another
+    record landing in the same slice) allocates nothing.
     """
 
     rank: int
     slice_us: float = 1000.0
-    _open: dict[tuple[int, str], tuple[int, _SliceAccum]] = field(default_factory=dict)
+    _open: dict[tuple[int, str], list] = field(default_factory=dict)
     _types: dict[int, SensorType] = field(default_factory=dict)
 
-    def add(self, record: SensorRecord) -> list[SliceSummary]:
+    def add(self, record: SensorRecord):
         """Feed one record; return any slice summaries completed by it."""
-        self._types[record.sensor_id] = record.sensor_type
         key = (record.sensor_id, record.group)
         idx = int(record.t_end // self.slice_us)
-        emitted: list[SliceSummary] = []
-        open_entry = self._open.get(key)
-        if open_entry is not None and open_entry[0] != idx:
-            emitted.append(self._emit(key, *open_entry))
-            open_entry = None
-        if open_entry is None:
-            open_entry = (idx, _SliceAccum())
-            self._open[key] = open_entry
-        accum = open_entry[1]
-        accum.total_duration += record.duration
-        accum.total_miss += record.cache_miss_rate
-        accum.count += 1
-        return emitted
+        entry = self._open.get(key)
+        if entry is not None and entry[0] == idx:
+            entry[1] += record.duration
+            entry[2] += record.cache_miss_rate
+            entry[3] += 1
+            return _NO_SUMMARIES
+        self._types[record.sensor_id] = record.sensor_type
+        self._open[key] = [idx, record.duration, record.cache_miss_rate, 1]
+        if entry is None:
+            return _NO_SUMMARIES
+        return [self._emit(key, entry)]
 
     def flush(self) -> list[SliceSummary]:
         """Emit every open slice (end of run)."""
-        emitted = [self._emit(key, idx, accum) for key, (idx, accum) in self._open.items()]
+        emitted = [self._emit(key, entry) for key, entry in self._open.items()]
         self._open.clear()
         return emitted
 
-    def _emit(self, key: tuple[int, str], idx: int, accum: _SliceAccum) -> SliceSummary:
+    def _emit(self, key: tuple[int, str], entry: list) -> SliceSummary:
         sensor_id, group = key
+        idx, total_duration, total_miss, count = entry
         return SliceSummary(
             rank=self.rank,
             sensor_id=sensor_id,
@@ -69,7 +69,7 @@ class SliceAggregator:
             group=group,
             slice_index=idx,
             t_slice_start=idx * self.slice_us,
-            mean_duration=accum.total_duration / accum.count,
-            count=accum.count,
-            mean_cache_miss=accum.total_miss / accum.count,
+            mean_duration=total_duration / count,
+            count=count,
+            mean_cache_miss=total_miss / count,
         )

@@ -1,0 +1,50 @@
+"""Human-readable listing of compiled bytecode.
+
+Output is deterministic (extern models and math callables are printed by
+name, never by object repr) so golden tests can pin it exactly.
+"""
+
+from __future__ import annotations
+
+from repro.sim.bytecode import ops
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "_"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_fmt(v) for v in value) + ")"
+    if isinstance(value, (int, float, str)):
+        return repr(value)
+    name = getattr(value, "name", None)
+    if isinstance(name, str):  # ExternModel and friends
+        return f"<extern {name}>"
+    if callable(value):
+        return f"<fn {getattr(value, '__name__', '?')}>"
+    return repr(value)  # pragma: no cover - no other operand kinds exist
+
+
+def disassemble_function(fc) -> str:
+    """One function's listing: header, register map, instructions."""
+    header = (
+        f"func {fc.name}  "
+        f"(locals={fc.n_locals} regs={len(fc.proto)} insns={len(fc.code)})"
+    )
+    lines = [header]
+    if fc.local_names:
+        pairs = ", ".join(f"r{i}={n}" for i, n in enumerate(fc.local_names))
+        lines.append(f"  ; locals: {pairs}")
+    for pc, (op, a, b, c) in enumerate(fc.code):
+        mnemonic = ops.NAMES.get(op, f"OP{op}")
+        operands = " ".join(
+            _fmt(v) for v in (a, b, c) if v is not None
+        )
+        note = fc.names.get(pc)
+        suffix = f"   ; {note}" if note else ""
+        lines.append(f"  {pc:4d}  {mnemonic:<8s} {operands}{suffix}")
+    return "\n".join(lines)
+
+
+def disassemble(program) -> str:
+    """Listing for every function of a compiled program."""
+    return "\n\n".join(disassemble_function(fc) for fc in program.funcs)

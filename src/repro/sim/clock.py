@@ -14,7 +14,8 @@ periodic-interrupt loss is added per window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
 from repro.sim.faults import Fault, cpu_factor_at, fault_boundaries, mem_factor_at
 from repro.sim.machine import MachineConfig, NodeConfig
@@ -31,6 +32,8 @@ class RankClock:
     machine: MachineConfig
     faults: tuple[Fault, ...]
     now: float = 0.0
+    #: fault window edges, computed once (the fault set is fixed per run)
+    _edges: tuple[float, ...] | None = field(default=None, repr=False)
 
     def advance_compute(self, work_units: float) -> tuple[float, float]:
         """Advance by ``work_units`` of computation; return (start, end)."""
@@ -40,15 +43,38 @@ class RankClock:
         t = self.now
         remaining = work_units
         slice_us = max(1.0, self.machine.noise.jitter_slice_us)
-        edges = fault_boundaries(self.faults)
+        edges = self._edges
+        if edges is None:
+            edges = self._edges = tuple(fault_boundaries(self.faults))
+        n_edges = len(edges)
+        edge_i = bisect_right(edges, t) if n_edges else 0
+        # Hot loop: one step per jitter slice.  Lookups are hoisted and the
+        # speed blend inlined; with no faults the factor calls are skipped
+        # (they would return exactly 1.0).
+        faults = self.faults
+        node_id = self.node.node_id
+        cpu_speed = self.node.cpu_speed
+        mem_perf = self.node.mem_perf
+        frac = self.machine.mem_fraction
+        speed_multiplier = self.noise.speed_multiplier
         # Hard cap on integration steps to guarantee termination even with
         # pathological (zero-speed) configurations.
         for _ in range(10_000_000):
-            speed = self._effective_speed(t)
+            if faults:
+                cpu = cpu_speed * cpu_factor_at(faults, node_id, t)
+                cpu *= speed_multiplier(t)
+                mem = mem_perf * mem_factor_at(faults, node_id, t)
+            else:
+                cpu = cpu_speed * speed_multiplier(t)
+                mem = mem_perf
+            denom = (1.0 - frac) / max(cpu, 1e-9) + frac / max(cpu * mem, 1e-9)
+            speed = 1.0 / denom
             # Next boundary where speed may change.
-            next_slice = (int(t / slice_us) + 1) * slice_us
-            next_edge = min((e for e in edges if e > t), default=float("inf"))
-            boundary = min(next_slice, next_edge)
+            boundary = (int(t / slice_us) + 1) * slice_us
+            while edge_i < n_edges and edges[edge_i] <= t:
+                edge_i += 1
+            if edge_i < n_edges and edges[edge_i] < boundary:
+                boundary = edges[edge_i]
             dt_max = boundary - t
             dt_needed = remaining / max(speed, 1e-9)
             if dt_needed <= dt_max:

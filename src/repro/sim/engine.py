@@ -8,6 +8,24 @@ every rank has arrived; point-to-point operations complete when both ends
 have arrived — and resume the participants at the completion time.  If no
 request can be resolved while ranks are still blocked, the program has
 deadlocked and the engine raises.
+
+Matching is *indexed* rather than scanned: a send (resp. recv) checks one
+``(src, dst)`` hash slot for its partner at the moment it blocks, and each
+collective keeps a counter of arrived ranks, so a rendezvous round costs
+O(participants) instead of the O(n²) of re-scanning every blocked rank per
+match.  Sendrecv exchange groups (rings and permutations) still need the
+stable-set computation, but it runs at most once per drain of the runnable
+queue instead of once per blocked rank.
+
+Completion times are pure functions of the participating requests (arrival
+times and sizes), and every request has a unique partner or group, so the
+resolution *order* — which differs from the old scanning engine — cannot
+change any rank's clock, the match count, or any hook payload.
+
+The interpreter tier is selectable: ``engine="bytecode"`` (default) runs
+the compiled register VM (:mod:`repro.sim.bytecode`); ``engine="ast"``
+runs the tree-walking reference interpreter.  Both produce bit-identical
+results; the AST tier is kept as the executable specification.
 """
 
 from __future__ import annotations
@@ -23,6 +41,8 @@ from repro.sim.hooks import NullHooks, RuntimeHooks
 from repro.sim.interp import MpiRequest, RankInterp
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkModel
+
+_P2P_OPS = ("send", "recv", "sendrecv")
 
 
 @dataclass(slots=True)
@@ -49,12 +69,6 @@ class SimResult:
         return [r.finish_time for r in self.ranks]
 
 
-@dataclass(slots=True)
-class _Blocked:
-    request: MpiRequest
-    gen: object
-
-
 class Simulator:
     """Runs one program on one machine configuration."""
 
@@ -66,21 +80,52 @@ class Simulator:
         sensors: dict[int, SensorInfo] | None = None,
         entry: str = "main",
         externs=None,
+        engine: str = "bytecode",
     ) -> None:
+        if engine not in ("bytecode", "ast"):
+            raise ValueError(f"unknown engine {engine!r} (bytecode|ast)")
         self.module = module
         self.machine = machine
         self.faults = tuple(faults)
         self.sensors = sensors or {}
         self.entry = entry
         self.externs = externs
+        self.engine = engine
         self.network = NetworkModel(machine=machine, faults=self.faults)
+        self._program_code = None  # compiled lazily, shared across runs/ranks
 
-    def run(self, hooks: RuntimeHooks | None = None) -> SimResult:
-        hooks = hooks or NullHooks()
+    # -- interpreter construction -------------------------------------------
+
+    def _build_interps(self, hooks: RuntimeHooks) -> list:
         n = self.machine.n_ranks
-        hooks.on_program_start(n)
+        if self.engine == "bytecode":
+            from repro.sim.bytecode import BytecodeInterp, compile_module
+
+            if self._program_code is None:
+                externs = self.externs
+                if externs is None:
+                    from repro.sensors.extern import default_extern_registry
+
+                    externs = default_extern_registry()
+                self._program_code = compile_module(self.module, externs)
+            program = self._program_code
+            return [
+                BytecodeInterp(
+                    program=program,
+                    module=self.module,
+                    rank=rank,
+                    n_ranks=n,
+                    machine=self.machine,
+                    faults=self.faults,
+                    hooks=hooks,
+                    sensors=self.sensors,
+                    entry=self.entry,
+                    externs=self.externs,
+                )
+                for rank in range(n)
+            ]
         shared_memo: dict[int, bool] = {}
-        interps = [
+        return [
             RankInterp(
                 module=self.module,
                 rank=rank,
@@ -95,16 +140,32 @@ class Simulator:
             )
             for rank in range(n)
         ]
-        gens = [interp.run() for interp in interps]
 
-        blocked: dict[int, _Blocked] = {}
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, hooks: RuntimeHooks | None = None) -> SimResult:
+        hooks = hooks or NullHooks()
+        n = self.machine.n_ranks
+        hooks.on_program_start(n)
+        interps = self._build_interps(hooks)
+        gens = [interp.run() for interp in interps]
+        network = self.network
+
+        blocked: dict[int, MpiRequest] = {}
         finished: set[int] = set()
         matches = 0
 
-        # Ranks whose generator should be advanced (value to send in).
+        # Indexed matching state.
+        coll_count: dict[str, int] = {}
+        send_index: dict[tuple[int, int], int] = {}  # (src, dst) -> src rank
+        recv_index: dict[tuple[int, int], int] = {}  # (src, dst) -> dst rank
+        n_sendrecv = 0
+
+        # Resolved groups awaiting resumption, and ranks ready to advance.
+        groups: deque[list[tuple[int, float]]] = deque()
         runnable: deque[tuple[int, float | None]] = deque((r, None) for r in range(n))
 
-        while runnable or blocked:
+        while True:
             while runnable:
                 rank, send_value = runnable.popleft()
                 gen = gens[rank]
@@ -113,20 +174,60 @@ class Simulator:
                 except StopIteration:
                     finished.add(rank)
                     continue
-                blocked[rank] = _Blocked(request=request, gen=gen)
-            if not blocked:
+                blocked[rank] = request
+                op = request.op
+                if op == "send":
+                    key = (rank, request.peer)
+                    other = recv_index.pop(key, None)
+                    if other is None:
+                        send_index[key] = rank
+                    else:
+                        groups.append(
+                            self._complete_p2p(rank, request, other, blocked[other])
+                        )
+                elif op == "recv":
+                    key = (request.peer, rank)
+                    other = send_index.pop(key, None)
+                    if other is None:
+                        recv_index[key] = rank
+                    else:
+                        groups.append(
+                            self._complete_p2p(other, blocked[other], rank, request)
+                        )
+                elif op == "sendrecv":
+                    if request.peer == rank:
+                        # Self-exchange completes locally.
+                        groups.append(
+                            [(rank, request.arrive + network.p2p(request.arrive, request.size))]
+                        )
+                    else:
+                        n_sendrecv += 1
+                else:  # collective
+                    count = coll_count.get(op, 0) + 1
+                    if count == n:
+                        # Every rank is blocked on this collective.
+                        coll_count[op] = 0
+                        arrive = max(r.arrive for r in blocked.values())
+                        size = max(r.size for r in blocked.values())
+                        completion = arrive + network.collective(op, arrive, size, n)
+                        groups.append([(r, completion) for r in blocked])
+                    else:
+                        coll_count[op] = count
+
+            if not groups and n_sendrecv:
+                group = self._resolve_sendrecv(blocked)
+                if group:
+                    n_sendrecv -= len(group)
+                    groups.append(group)
+            if not groups:
+                if blocked:
+                    self._raise_deadlock(blocked, finished)
                 break
-            resolved = self._resolve(blocked)
-            if not resolved:
-                pending = {r: (b.request.op, b.request.peer) for r, b in blocked.items()}
-                raise SimulationError(
-                    f"MPI deadlock: {len(blocked)} rank(s) blocked, none resolvable: "
-                    f"{dict(list(pending.items())[:8])}"
-                )
-            matches += 1
-            for rank, completion in resolved:
-                del blocked[rank]
-                runnable.append((rank, completion))
+            while groups:
+                matches += 1
+                for rank, completion in groups.popleft():
+                    del blocked[rank]
+                    runnable.append((rank, completion))
 
         result = SimResult(mpi_matches=matches)
         for interp in interps:
@@ -143,43 +244,16 @@ class Simulator:
 
     # -- request resolution -------------------------------------------------
 
-    def _resolve(self, blocked: dict[int, _Blocked]) -> list[tuple[int, float]]:
-        """Find one resolvable group and return [(rank, completion)].
+    def _complete_p2p(
+        self, rank_a: int, req_a: MpiRequest, rank_b: int, req_b: MpiRequest
+    ) -> list[tuple[int, float]]:
+        arrive = max(req_a.arrive, req_b.arrive)
+        size = max(req_a.size, req_b.size)
+        completion = arrive + self.network.p2p(arrive, size)
+        return [(rank_a, completion), (rank_b, completion)]
 
-        Collectives need all ranks; p2p needs both ends.  One group per call
-        keeps the engine simple; the outer loop re-enters until quiescent.
-        """
-        n = self.machine.n_ranks
-
-        # Collective: every rank blocked on the same collective op.
-        if len(blocked) == n:
-            ops = {b.request.op for b in blocked.values()}
-            if len(ops) == 1 and next(iter(ops)) not in ("send", "recv", "sendrecv"):
-                op = next(iter(ops))
-                arrive = max(b.request.arrive for b in blocked.values())
-                size = max(b.request.size for b in blocked.values())
-                cost = self.network.collective(op, arrive, size, n)
-                completion = arrive + cost
-                return [(rank, completion) for rank in list(blocked)]
-
-        # Point-to-point matching.
-        for rank, entry in blocked.items():
-            req = entry.request
-            if req.op == "send":
-                peer_entry = blocked.get(req.peer)
-                if peer_entry and peer_entry.request.op == "recv" and peer_entry.request.peer == rank:
-                    return self._complete_p2p(rank, req, req.peer, peer_entry.request)
-            elif req.op == "sendrecv":
-                if req.peer == rank:
-                    # Self-exchange completes locally.
-                    return [(rank, req.arrive + self.network.p2p(req.arrive, req.size))]
-                resolved = self._try_sendrecv(rank, blocked)
-                if resolved:
-                    return resolved
-        return []
-
-    def _try_sendrecv(self, rank: int, blocked: dict[int, _Blocked]) -> list[tuple[int, float]]:
-        """Resolve the sendrecv exchange group containing ``rank``.
+    def _resolve_sendrecv(self, blocked: dict[int, MpiRequest]) -> list[tuple[int, float]]:
+        """Resolve the stable set of pending sendrecv exchanges.
 
         ``MPI_Sendrecv(dest, n)`` sends to ``dest`` and receives from
         whichever rank targets us.  An exchange pattern (pair, ring, or any
@@ -192,12 +266,7 @@ class Simulator:
         its destination and its source, which propagates skew around the
         ring exactly like a real exchange.
         """
-        pending = {
-            r: e.request for r, e in blocked.items() if e.request.op == "sendrecv"
-        }
-        if rank not in pending:
-            return []
-        # Iteratively prune until stable.
+        pending = {r: req for r, req in blocked.items() if req.op == "sendrecv"}
         changed = True
         while changed:
             changed = False
@@ -207,7 +276,7 @@ class Simulator:
                 if req.peer not in pending or r not in sources:
                     del pending[r]
                     changed = True
-        if rank not in pending:
+        if not pending:
             return []
         source_of: dict[int, int] = {}
         for r, req in pending.items():
@@ -220,11 +289,21 @@ class Simulator:
             out.append((r, arrive + cost))
         return out
 
-    def _complete_p2p(
-        self, rank_a: int, req_a: MpiRequest, rank_b: int, req_b: MpiRequest
-    ) -> list[tuple[int, float]]:
-        arrive = max(req_a.arrive, req_b.arrive)
-        size = max(req_a.size, req_b.size)
-        cost = self.network.p2p(arrive, size)
-        completion = arrive + cost
-        return [(rank_a, completion), (rank_b, completion)]
+    def _raise_deadlock(
+        self, blocked: dict[int, MpiRequest], finished: set[int]
+    ) -> None:
+        pending = {r: (blocked[r].op, blocked[r].peer) for r in sorted(blocked)}
+        message = (
+            f"MPI deadlock: {len(blocked)} rank(s) blocked, none resolvable: "
+            f"{dict(list(pending.items())[:8])}"
+        )
+        if finished:
+            done = sorted(finished)
+            shown = ", ".join(str(r) for r in done[:16])
+            if len(done) > 16:
+                shown += ", ..."
+            message += (
+                f"; {len(done)} rank(s) already finished ({shown}) — a rank "
+                "exiting before a collective is the usual cause"
+            )
+        raise SimulationError(message)

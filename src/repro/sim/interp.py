@@ -14,6 +14,14 @@ Performance notes (this is the simulator's hot loop):
   memoized by node id;
 * intrinsics (math, ``compute_units``, probes, IO) run inline; only MPI
   rendezvous and user-function calls go through ``yield``.
+
+Work accounting is split into an integer count of half work units plus a
+float residual for charges that are not multiples of 0.5 (``MPI_Comm_rank``'s
+0.1, data-dependent extern costs).  Integer accumulation is exact and
+associative, so the bytecode tier (:mod:`repro.sim.bytecode`) may fold the
+constant charges of a whole basic block into one addition and still produce
+bit-identical virtual times; the residual stream is charged in program
+order by both tiers.
 """
 
 from __future__ import annotations
@@ -134,10 +142,14 @@ class RankInterp:
         )
         self.globals: dict[str, object] = {}
         self._frames: list[dict[str, object]] = []
-        self.pending_work = 0.0
-        self.total_work = 0.0
-        #: open Tick records: sensor id -> (t_start, work_at_tick)
-        self._open_ticks: dict[int, tuple[float, float]] = {}
+        # Work accounting: integer half-units (exact, grouping-invariant)
+        # plus a float residual charged in program order.
+        self._pending_half = 0
+        self._pending_frac = 0.0
+        self._total_half = 0
+        self._total_frac = 0.0
+        #: open Tick records: sensor id -> (t_start, half units, residual)
+        self._open_ticks: dict[int, tuple[float, int, float]] = {}
         self.sensor_record_count = 0
         self._has_call_memo = shared_has_call if shared_has_call is not None else {}
         self._functions = {fn.name: fn for fn in module.functions}
@@ -177,15 +189,32 @@ class RankInterp:
     # Time bookkeeping
     # ------------------------------------------------------------------
 
+    @property
+    def pending_work(self) -> float:
+        return self._pending_half * 0.5 + self._pending_frac
+
+    @property
+    def total_work(self) -> float:
+        return self._total_half * 0.5 + self._total_frac
+
     def _flush(self) -> None:
         """Convert pending work units into elapsed virtual time."""
-        if self.pending_work > 0.0:
-            self.clock.advance_compute(self.pending_work)
-            self.pending_work = 0.0
+        if self._pending_half or self._pending_frac:
+            amount = self._pending_half * 0.5 + self._pending_frac
+            if amount > 0.0:
+                self.clock.advance_compute(amount)
+            self._pending_half = 0
+            self._pending_frac = 0.0
 
     def _charge(self, units: float) -> None:
-        self.pending_work += units
-        self.total_work += units
+        doubled = units + units
+        if doubled < 1e15 and doubled == int(doubled):
+            n = int(doubled)
+            self._pending_half += n
+            self._total_half += n
+        else:
+            self._pending_frac += units
+            self._total_frac += units
 
     # ------------------------------------------------------------------
     # Variable access
@@ -596,7 +625,7 @@ class RankInterp:
     def _probe_tick(self, sensor_id: int) -> None:
         self._charge(self.machine.probe_cost)
         self._flush()
-        self._open_ticks[sensor_id] = (self.clock.now, self.total_work)
+        self._open_ticks[sensor_id] = (self.clock.now, self._total_half, self._total_frac)
 
     def _probe_tock(self, sensor_id: int) -> None:
         self._flush()
@@ -604,8 +633,10 @@ class RankInterp:
         self._charge(self.machine.probe_cost)
         if open_entry is None:
             raise InterpError(f"vs_tock({sensor_id}) without matching vs_tick")
-        t_start, work_at_tick = open_entry
-        true_work = self.total_work - work_at_tick
+        t_start, half_at_tick, frac_at_tick = open_entry
+        true_work = (self._total_half - half_at_tick) * 0.5 + (
+            self._total_frac - frac_at_tick
+        )
         sample = self.pmu.read(true_work, self.clock.now)
         self.sensor_record_count += 1
         self.hooks.on_sensor_record(self.rank, sensor_id, t_start, self.clock.now, sample)

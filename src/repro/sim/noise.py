@@ -39,6 +39,16 @@ class NoiseConfig:
     spike_duration_us: float = 300.0
 
 
+# Noise draws are pure functions of (node seed, slice index) — there is no
+# stream state — so repeated queries of the same slice (every few work units
+# while a rank computes through it) can be served from a cache instead of
+# re-building a numpy Generator each time.  Shared across NodeNoise
+# instances: ranks co-located on a node draw identical noise and hit the
+# same entries.
+_JITTER_CACHE: dict[tuple[int, int, float], float] = {}
+_SPIKE_CACHE: dict[tuple[int, int], tuple[float, float]] = {}
+
+
 class NodeNoise:
     """Deterministic noise stream for one node.
 
@@ -62,14 +72,24 @@ class NodeNoise:
         mult = 1.0
         if cfg.jitter_sigma > 0:
             k = int(time_us / cfg.jitter_slice_us)
-            rng = self._slice_rng(k)
-            # Lognormal centred slightly below 1: noise only ever slows.
-            mult *= min(1.0, float(np.exp(-abs(rng.normal(0.0, cfg.jitter_sigma)))))
+            key = (int(self._seed), k, cfg.jitter_sigma)
+            jitter = _JITTER_CACHE.get(key)
+            if jitter is None:
+                rng = self._slice_rng(k)
+                # Lognormal centred slightly below 1: noise only ever slows.
+                jitter = min(1.0, float(np.exp(-abs(rng.normal(0.0, cfg.jitter_sigma)))))
+                _JITTER_CACHE[key] = jitter
+            mult *= jitter
         if cfg.spike_rate_per_ms > 0:
             ms = int(time_us / 1000.0)
-            rng = self._slice_rng(1_000_000_000 + ms)
-            if rng.random() < cfg.spike_rate_per_ms:
-                start = ms * 1000.0 + float(rng.random()) * 1000.0
+            key = (int(self._seed), ms)
+            draws = _SPIKE_CACHE.get(key)
+            if draws is None:
+                rng = self._slice_rng(1_000_000_000 + ms)
+                draws = (float(rng.random()), float(rng.random()))
+                _SPIKE_CACHE[key] = draws
+            if draws[0] < cfg.spike_rate_per_ms:
+                start = ms * 1000.0 + draws[1] * 1000.0
                 if start <= time_us < start + cfg.spike_duration_us:
                     mult *= 0.25
         return mult

@@ -22,9 +22,9 @@ def rec(t_end, duration=5.0, sensor_id=1, group="", miss=0.1, rank=0):
 
 def test_records_within_slice_accumulate():
     agg = SliceAggregator(rank=0, slice_us=1000.0)
-    assert agg.add(rec(100.0)) == []
-    assert agg.add(rec(500.0)) == []
-    assert agg.add(rec(900.0)) == []
+    assert list(agg.add(rec(100.0))) == []
+    assert list(agg.add(rec(500.0))) == []
+    assert list(agg.add(rec(900.0))) == []
     out = agg.flush()
     assert len(out) == 1
     assert out[0].count == 3
@@ -93,6 +93,37 @@ def test_flush_clears_state():
     agg.add(rec(100.0))
     agg.flush()
     assert agg.flush() == []
+
+
+def test_summaries_pinned_across_rollovers():
+    """Exact summary values across several slices (hot-path regression pin).
+
+    The in-place accumulator must produce summaries identical to the naive
+    one-accumulator-per-record implementation: same slice indices, counts
+    and exact means, with the no-rollover path returning an empty result.
+    """
+    agg = SliceAggregator(rank=3, slice_us=1000.0)
+    out = []
+    stream = [
+        (100.0, 2.0, 0.1),
+        (700.0, 4.0, 0.3),
+        (1200.0, 6.0, 0.5),   # rolls slice 0 -> 1
+        (1800.0, 10.0, 0.7),
+        (3100.0, 1.0, 0.2),   # skips slice 2 entirely
+    ]
+    for t_end, duration, miss in stream:
+        emitted = agg.add(rec(t_end, duration=duration, miss=miss))
+        if t_end not in (1200.0, 3100.0):
+            assert not emitted
+        out.extend(emitted)
+    out.extend(agg.flush())
+    assert [(s.slice_index, s.count, s.mean_duration, s.mean_cache_miss, s.t_slice_start)
+            for s in out] == [
+        (0, 2, 3.0, 0.2, 0.0),
+        (1, 2, 8.0, 0.6, 1000.0),
+        (3, 1, 1.0, 0.2, 3000.0),
+    ]
+    assert all(s.rank == 3 for s in out)
 
 
 def test_smoothing_reduces_variance():

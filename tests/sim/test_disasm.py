@@ -1,0 +1,93 @@
+"""Golden tests for the bytecode disassembler.
+
+These listings pin the compiler's output — register allocation, charge
+folding, compare/branch fusion and intrinsic lowering.  A diff here means
+the compiler changed; update the golden only after the differential suite
+(:mod:`tests.sim.test_bytecode_equiv`) confirms the new code is still
+bit-identical to the AST tier.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_source
+from repro.sensors.extern import default_extern_registry
+from repro.sim.bytecode import compile_module, disassemble
+
+_LOOP_SRC = """global int acc = 0;
+int twice(int x) {
+    return x + x;
+}
+int main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        acc = acc + twice(i);
+    }
+    MPI_Barrier();
+    return 0;
+}
+"""
+
+_LOOP_GOLDEN = """\
+func twice  (locals=1 regs=2 insns=4)
+  ; locals: r0=x
+     0  ADD      1 0 0
+     1  CHARGE   4
+     2  RET      1
+     3  RETK     0
+
+func main  (locals=1 regs=7 insns=18)
+  ; locals: r0=i
+     0  MOVE     0 4   ; i
+     1  MOVE     0 4
+     2  CHARGE   2
+     3  CHARGE   4
+     4  JLT_F    0 5 14
+     5  LOADG    1 0   ; acc
+     6  CHARGE   6
+     7  CALL     2 0 (0)   ; twice
+     8  ADD      3 1 2
+     9  STOREG   0 3   ; acc
+    10  CHARGE   3
+    11  ADD      0 0 6
+    12  CHARGE   4
+    13  JUMP     3
+    14  CHARGE   4
+    15  COLL     1 ('barrier', 'MPI_Barrier') -1   ; MPI_Barrier
+    16  RET      4
+    17  RETK     0"""
+
+_CALLS_SRC = """int main() {
+    float x;
+    x = sqrt(2.0);
+    printf(x);
+    return 0;
+}
+"""
+
+_CALLS_GOLDEN = """\
+func main  (locals=1 regs=4 insns=6)
+  ; locals: r0=x
+     0  MOVE     0 2   ; x
+     1  MATHOP   0 <fn <lambda>> (3)   ; sqrt
+     2  CHARGE   11
+     3  IOOP     1 'printf' -1   ; printf
+     4  RET      2
+     5  RETK     0"""
+
+
+def _compile(src: str):
+    return compile_module(parse_source(src), default_extern_registry())
+
+
+def test_disassemble_loop_golden():
+    assert disassemble(_compile(_LOOP_SRC)) == _LOOP_GOLDEN
+
+
+def test_disassemble_calls_golden():
+    assert disassemble(_compile(_CALLS_SRC)) == _CALLS_GOLDEN
+
+
+def test_disassembly_is_deterministic():
+    a = disassemble(_compile(_LOOP_SRC))
+    b = disassemble(_compile(_LOOP_SRC))
+    assert a == b

@@ -167,3 +167,39 @@ def test_rank_results_populated():
     for r in result.ranks:
         assert r.total_work > 0
         assert r.finish_time > 0
+
+
+def test_deadlock_error_reports_finished_ranks():
+    """A rank exiting before a collective is the classic hang; the error
+    must say which ranks already finished so the user can find it."""
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        if (r != 2) MPI_Barrier();
+        return 0;
+    }
+    """
+    with pytest.raises(SimulationError) as excinfo:
+        run(src, n_ranks=4)
+    message = str(excinfo.value)
+    assert "MPI deadlock" in message
+    assert "3 rank(s) blocked" in message
+    assert "1 rank(s) already finished (2)" in message
+    assert "exiting before a collective" in message
+
+
+def test_deadlock_error_without_finished_ranks():
+    """No finished-rank clause when every rank is still blocked."""
+    src = """
+    int main() {
+        int r;
+        r = MPI_Comm_rank();
+        if (r == 0) MPI_Barrier();
+        if (r != 0) MPI_Allreduce(4);
+        return 0;
+    }
+    """
+    with pytest.raises(SimulationError) as excinfo:
+        run(src, n_ranks=2)
+    assert "already finished" not in str(excinfo.value)
