@@ -44,6 +44,8 @@ class VSensorRun:
     sim: SimResult
     runtime: VSensorRuntime
     report: VarianceReport = field(default=None)  # type: ignore[assignment]
+    #: delivery counters when the run used a simulated lossy channel
+    channel_stats: dict[str, int] | None = None
 
 
 def compile_and_instrument(
@@ -92,6 +94,8 @@ def run_vsensor(
     extra_hooks: Sequence = (),
     live=None,
     engine: str = "bytecode",
+    channel=None,
+    retry_policy=None,
 ) -> VSensorRun:
     """Compile, instrument, simulate and analyze one program.
 
@@ -100,24 +104,45 @@ def run_vsensor(
     its buffered slice summaries to the analysis server.  ``extra_hooks``
     are additional observers teed alongside the vSensor runtime (e.g. a
     raw-record collector for figure data).
+
+    ``channel`` routes rank→server batches over a simulated unreliable
+    channel: pass a :class:`~repro.runtime.channel.ChannelConfig`, a
+    prebuilt :class:`~repro.runtime.channel.LossyChannel`, or a CLI-style
+    spec string (``"drop=0.1,dup=0.05"``, ``"lossy"``).  Delivery then
+    uses sequence numbers + retries (``retry_policy``) with idempotent
+    server ingest, and the run's :attr:`VSensorRun.channel_stats` /
+    report fields expose the delivery counters.
     """
+    from repro.runtime.channel import ChannelConfig, LossyChannel
     from repro.runtime.server import AnalysisServer
+    from repro.runtime.transport import ReliableTransport, RetryPolicy
     from repro.sim.hooks import TeeHooks
 
     static = compile_and_instrument(
         source, max_depth=max_depth, externs=externs, static_rules=static_rules
+    )
+    server = AnalysisServer(
+        n_ranks=machine.n_ranks,
+        window_us=window_us,
+        batch_period_us=batch_period_us,
     )
     runtime = VSensorRuntime(
         sensors=static.program.sensors,
         n_ranks=machine.n_ranks,
         config=detector or DetectorConfig(),
         rule=rule or NoGrouping(),
-        server=AnalysisServer(
-            n_ranks=machine.n_ranks,
-            window_us=window_us,
-            batch_period_us=batch_period_us,
-        ),
+        server=server,
     )
+    transport = None
+    if channel is not None:
+        if isinstance(channel, str):
+            channel = ChannelConfig.parse(channel)
+        if isinstance(channel, ChannelConfig):
+            channel = LossyChannel(config=channel)
+        transport = ReliableTransport(
+            server=server, channel=channel, policy=retry_policy or RetryPolicy()
+        )
+        runtime.server = transport  # type: ignore[assignment]
     runtime.live = live
     hooks = TeeHooks(runtime, *extra_hooks) if extra_hooks else runtime
     sim = Simulator(
@@ -129,7 +154,13 @@ def run_vsensor(
         engine=engine,
     ).run(hooks)
     run = VSensorRun(static=static, sim=sim, runtime=runtime)
+    if transport is not None:
+        transport.finish()
+        runtime.server = server
+        run.channel_stats = transport.channel.stats.as_dict()
     run.report = runtime.report(sim.total_time)
+    if run.channel_stats is not None:
+        run.report.channel_stats = dict(run.channel_stats)
     return run
 
 

@@ -137,6 +137,7 @@ def cmd_run(args) -> int:
         max_depth=args.max_depth,
         window_us=args.window_ms * 1000.0,
         engine=args.engine,
+        channel=args.channel,
     )
     if profiler is not None:
         import io
@@ -214,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--export", help="path stem for PGM/CSV matrix export")
     p_run.add_argument("--matrix-rows", type=int, default=32)
     p_run.add_argument("--matrix-cols", type=int, default=70)
+    p_run.add_argument(
+        "--channel",
+        help="simulate an unreliable rank->server channel: "
+        "'lossy', 'perfect', or 'drop=0.1,dup=0.05,reorder=0.2,delay=200,seed=7' "
+        "(batches then use sequenced retry delivery with idempotent ingest)",
+    )
     p_run.add_argument(
         "--engine",
         choices=("bytecode", "ast"),

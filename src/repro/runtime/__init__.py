@@ -14,22 +14,37 @@ Record flow, mirroring the paper's pipeline:
    comparison and builds the per-component performance matrices the
    visualizer renders (§5.5).
 
+Batch delivery is fault-tolerant: the message path can run over a seeded
+lossy channel (:mod:`repro.runtime.channel`) with sequenced retrying
+delivery (:mod:`repro.runtime.transport`), and the server's ingest is
+idempotent and delivery-order invariant, so dropped / duplicated /
+reordered batches never skew the matrices.
+
 :class:`~repro.runtime.vsensor_hooks.VSensorRuntime` packages all of this
 behind the simulator's hook interface.
 """
 
+from repro.runtime.channel import ChannelConfig, ChannelStats, LossyChannel
 from repro.runtime.detector import DetectorConfig, RankDetector, VarianceEvent
 from repro.runtime.dynrules import CacheMissBands, DynamicRule, NoGrouping
 from repro.runtime.history import SensorHistory
 from repro.runtime.records import SensorRecord, SliceSummary
 from repro.runtime.report import VarianceReport
-from repro.runtime.server import AnalysisServer
+from repro.runtime.server import AnalysisServer, InterProcessEvent
 from repro.runtime.smoothing import SliceAggregator
+from repro.runtime.transport import FileSpool, ReliableTransport, RetryPolicy
 from repro.runtime.vsensor_hooks import VSensorRuntime
 
 __all__ = [
     "AnalysisServer",
     "CacheMissBands",
+    "ChannelConfig",
+    "ChannelStats",
+    "FileSpool",
+    "InterProcessEvent",
+    "LossyChannel",
+    "ReliableTransport",
+    "RetryPolicy",
     "DetectorConfig",
     "DynamicRule",
     "NoGrouping",

@@ -28,6 +28,11 @@ class LiveSnapshot:
     intra_events: int
     #: low-performance cells per component at snapshot time
     low_cells: dict[SensorType, int] = field(default_factory=dict)
+    #: delivery counters when batches travel over a simulated channel
+    #: (sent / delivered / dropped / retried / duplicated / reordered / late)
+    channel: dict[str, int] | None = None
+    #: ranks the transport has marked degraded by snapshot time
+    degraded_ranks: tuple[int, ...] = ()
 
     def has_variance(
         self, threshold_cells: int = 1, component: SensorType | None = None
@@ -69,11 +74,17 @@ class LiveReporter:
                 low_cells[sensor_type] = int(
                     (np.isfinite(matrix) & (matrix < self.threshold)).sum()
                 )
+        # runtime.server may be a ReliableTransport proxy; unwrap for the
+        # degraded set and surface its channel counters when present.
+        channel = getattr(runtime.server, "channel", None)
+        server = getattr(runtime.server, "server", runtime.server)
         return LiveSnapshot(
             virtual_time_us=now,
             matrices=matrices,
             intra_events=len(runtime.events),
             low_cells=low_cells,
+            channel=channel.stats.as_dict() if channel is not None else None,
+            degraded_ranks=tuple(sorted(getattr(server, "degraded", ()))),
         )
 
 

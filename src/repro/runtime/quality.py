@@ -124,10 +124,18 @@ class QualityScore:
     def precision(self) -> float:
         return self.matched_regions / len(self.detected) if self.detected else 1.0
 
+    @property
+    def f_score(self) -> float:
+        """Harmonic mean of precision and recall — the single number the
+        transport-loss sweep tracks against drop rate."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if p + r > 0 else 0.0
+
     def describe(self) -> str:
         return (
             f"recall {self.matched_truths}/{len(self.truths)}, "
-            f"precision {self.matched_regions}/{len(self.detected)}"
+            f"precision {self.matched_regions}/{len(self.detected)}, "
+            f"F={self.f_score:.2f}"
         )
 
 
@@ -137,14 +145,23 @@ def score_detection(
     machine: MachineConfig,
     min_cells: int = 2,
     slack_windows: float = 1.0,
+    sensor_types: tuple[SensorType, ...] | None = None,
 ) -> QualityScore:
     """Score a report against the injected faults.
 
     ``slack_windows`` widens time matching by that many matrix windows —
     slice/window quantization legitimately shifts region edges.
+
+    ``sensor_types`` restricts scoring to those components.  A CPU fault
+    also produces secondary network-wait regions on the ranks stalled
+    behind the slowed ones; when the question is "was the fault itself
+    localized", score only the component the fault perturbs directly.
     """
     truths = ground_truth_of(faults, machine, report.total_time_us)
     regions = [r for r in report.regions if r.cells >= min_cells]
+    if sensor_types is not None:
+        truths = [t for t in truths if t.sensor_type in sensor_types]
+        regions = [r for r in regions if r.sensor_type in sensor_types]
     slack = slack_windows * report.window_us
 
     score = QualityScore(truths=truths, detected=regions)

@@ -49,3 +49,10 @@ class SliceSummary:
     #: serialized size in bytes when sent to the analysis server: sensor id
     #: (4) + slice (4) + duration (4) + count (2) + miss rate (2)
     WIRE_BYTES = 16
+
+    @property
+    def identity(self) -> tuple[int, int, str, int]:
+        """Dedup key for idempotent server ingest: a rank emits at most one
+        summary per (sensor, group, slice), so redelivery is detectable
+        without any transport metadata."""
+        return (self.rank, self.sensor_id, self.group, self.slice_index)

@@ -53,6 +53,15 @@ class VarianceReport:
     bytes_to_server: int = 0
     batches_to_server: int = 0
     shutoff_sensors: int = 0
+    #: transport hardening: redelivered batches the server deduplicated
+    duplicate_batches: int = 0
+    #: ranks whose delivery gave up (quiet spool / exhausted retries)
+    degraded_ranks: tuple[int, ...] = ()
+    #: mean per-event coverage fraction of the inter-process verdicts —
+    #: below 1.0 some verdicts rest on partial telemetry
+    coverage_confidence: float = 1.0
+    #: channel delivery counters when a lossy channel was simulated
+    channel_stats: dict[str, int] | None = None
 
     def data_rate_kb_per_s(self) -> float:
         """Average per-process data generation rate (the §6.4 comparison)."""
@@ -83,6 +92,18 @@ class VarianceReport:
             f"  data to analysis server: {self.bytes_to_server / 1024:.1f} KiB "
             f"({self.data_rate_kb_per_s():.3f} KB/s/process)",
         ]
+        if self.channel_stats is not None:
+            stats = self.channel_stats
+            lines.append(
+                "  transport: "
+                + " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+            )
+        if self.duplicate_batches:
+            lines.append(f"  deduplicated batches: {self.duplicate_batches}")
+        if self.degraded_ranks:
+            lines.append(f"  degraded ranks: {list(self.degraded_ranks)}")
+        if self.coverage_confidence < 1.0:
+            lines.append(f"  inter-event coverage confidence: {self.coverage_confidence:.2f}")
         for region in self.regions[:20]:
             lines.append("  variance: " + region.describe())
         return "\n".join(lines)
@@ -140,16 +161,23 @@ def cluster_low_cells(
 
 
 def build_report(runtime: "VSensorRuntime", total_time: float) -> VarianceReport:
-    server = runtime.server
+    # runtime.server may be a transport proxy; the report reads the real one.
+    server = getattr(runtime.server, "server", runtime.server)
+    events = server.inter_events
     report = VarianceReport(
         n_ranks=runtime.n_ranks,
         total_time_us=total_time,
         window_us=server.window_us,
         intra_events=len(runtime.events),
-        inter_events=len(server.inter_events),
+        inter_events=len(events),
         bytes_to_server=server.bytes_received,
         batches_to_server=server.batches_received,
         shutoff_sensors=sum(len(d.shutoff) for d in runtime.detectors.values()),
+        duplicate_batches=server.duplicate_batches,
+        degraded_ranks=tuple(sorted(server.degraded)),
+        coverage_confidence=(
+            float(np.mean([event.coverage for event in events])) if events else 1.0
+        ),
     )
     for sensor_type in SensorType:
         matrix = server.performance_matrix(sensor_type)

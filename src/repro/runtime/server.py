@@ -10,11 +10,20 @@ volume comparison against tracing).  The server
   detection), and
 * maintains the process x time performance matrix per component that the
   visualizer renders (§5.5).
+
+Delivery hardening: batches may arrive over an unreliable transport
+(:mod:`repro.runtime.channel`), so ingestion is **idempotent** and
+**order-invariant**.  Sequence-numbered batches are deduplicated against a
+per-rank watermark (at-least-once delivery upstream, exactly-once effect
+here), and every accepted summary is keyed by its identity ``(rank,
+sensor, group, slice)`` rather than folded into running aggregates.  The
+matrices and inter-process verdicts are computed by replaying the keyed
+store in canonical slice order, which makes them bit-identical under any
+permutation or redelivery of the incoming batches.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +44,21 @@ class InterProcessEvent:
     slow_ranks: tuple[int, ...]
     #: normalized performance of the slowest flagged rank
     worst_performance: float
+    #: fraction of ranks that contributed data to this (sensor, window)
+    #: cell — below 1.0 the verdict rests on partial telemetry (dropped
+    #: batches, degraded ranks), so treat it with less confidence
+    coverage: float = 1.0
+
+
+@dataclass(slots=True)
+class _Analysis:
+    """Derived state replayed from the summary store (cached per epoch)."""
+
+    #: (type, window) -> rank -> [normalized perf per slice]
+    cells: dict[tuple[SensorType, int], dict[int, list[float]]] = field(default_factory=dict)
+    #: (sensor, window) -> rank -> mean duration of the rank's slices
+    per_sensor: dict[tuple[int, int], dict[int, float]] = field(default_factory=dict)
+    history: SensorHistory = field(default_factory=SensorHistory)
 
 
 @dataclass(slots=True)
@@ -49,51 +73,150 @@ class AnalysisServer:
     bytes_received: int = 0
     batches_received: int = 0
     summaries_received: int = 0
-    #: global (cross-rank) standard times per sensor
-    history: SensorHistory = field(default_factory=SensorHistory)
-    #: (type, window) -> rank -> [perf values]
-    _cells: dict[tuple[SensorType, int], dict[int, list[float]]] = field(
-        default_factory=lambda: defaultdict(lambda: defaultdict(list))
-    )
-    #: (sensor, window) -> rank -> mean duration (for inter-process compare)
-    _per_sensor: dict[tuple[int, int], dict[int, float]] = field(
-        default_factory=lambda: defaultdict(dict)
-    )
+    #: redelivered batches rejected by the sequence watermark
+    duplicate_batches: int = 0
+    #: summaries whose identity key was already in the store
+    duplicate_summaries: int = 0
     inter_events: list[InterProcessEvent] = field(default_factory=list)
+    #: ranks whose transport gave up on them (quiet spool, exhausted
+    #: retries); matrices still render, reports carry the marker
+    degraded: set[int] = field(default_factory=set)
+
+    #: identity-keyed summary store: (rank, sensor, group, slice) -> summary
+    _store: dict[tuple[int, int, str, int], SliceSummary] = field(default_factory=dict)
+    #: per-rank received sequence numbers above the watermark
+    _seen_seqs: dict[int, set[int]] = field(default_factory=dict)
+    #: per-rank cumulative watermark: every seq <= this has been received
+    _watermarks: dict[int, int] = field(default_factory=dict)
     _max_window: int = 0
     _sensor_types: dict[int, SensorType] = field(default_factory=dict)
+    #: virtual time of the freshest slice each rank has reported
+    _last_seen: dict[int, float] = field(default_factory=dict)
+    _analysis: _Analysis | None = None
 
-    def receive_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
-        """One batched transfer from a rank's local buffer."""
+    # -- ingestion ----------------------------------------------------------
+
+    def receive_batch(
+        self, rank: int, summaries: list[SliceSummary], seq: int | None = None
+    ) -> bool:
+        """One batched transfer from a rank's local buffer.
+
+        ``seq`` is the rank's batch sequence number when the batch came over
+        a sequenced transport; redelivered sequence numbers are counted and
+        dropped (idempotent ingest).  Returns True iff the batch was new.
+        """
         self.batches_received += 1
         self.bytes_received += 8 + SliceSummary.WIRE_BYTES * len(summaries)
+        if seq is not None and not self._advance_watermark(rank, seq):
+            self.duplicate_batches += 1
+            return False
         self.summaries_received += len(summaries)
         for summary in summaries:
             self._ingest(summary)
+        return True
+
+    def _advance_watermark(self, rank: int, seq: int) -> bool:
+        """Record one received sequence number; False if already seen."""
+        watermark = self._watermarks.get(rank, -1)
+        if seq <= watermark:
+            return False
+        seen = self._seen_seqs.setdefault(rank, set())
+        if seq in seen:
+            return False
+        seen.add(seq)
+        while watermark + 1 in seen:
+            watermark += 1
+            seen.remove(watermark)
+        self._watermarks[rank] = watermark
+        return True
+
+    def ack_watermark(self, rank: int) -> int:
+        """Highest sequence number below which everything arrived."""
+        return self._watermarks.get(rank, -1)
+
+    def is_acked(self, rank: int, seq: int) -> bool:
+        return seq <= self._watermarks.get(rank, -1) or seq in self._seen_seqs.get(rank, ())
 
     def _ingest(self, summary: SliceSummary) -> None:
-        window = int(summary.t_slice_start // self.window_us)
-        self._max_window = max(self._max_window, window)
+        key = summary.identity
+        if key in self._store:
+            self.duplicate_summaries += 1
+            return
+        self._store[key] = summary
+        self._analysis = None
+        self._max_window = max(self._max_window, int(summary.t_slice_start // self.window_us))
         self._sensor_types[summary.sensor_id] = summary.sensor_type
-        perf = self.history.observe(summary.sensor_id, summary.group, summary.mean_duration)
-        self._cells[(summary.sensor_type, window)][summary.rank].append(perf)
-        sensor_window = self._per_sensor[(summary.sensor_id, window)]
-        prev = sensor_window.get(summary.rank)
-        # Keep the mean duration of the rank's slices in this window.
-        sensor_window[summary.rank] = (
-            summary.mean_duration if prev is None else 0.5 * (prev + summary.mean_duration)
-        )
+        last = self._last_seen.get(summary.rank)
+        if last is None or summary.t_slice_start > last:
+            self._last_seen[summary.rank] = summary.t_slice_start
+
+    # -- degradation / coverage --------------------------------------------
+
+    def mark_degraded(self, rank: int) -> None:
+        self.degraded.add(rank)
+
+    def silent_ranks(self, now: float, staleness_us: float | None = None) -> list[int]:
+        """Ranks whose freshest data is older than ``staleness_us`` —
+        candidates for degraded marking when their spool goes quiet."""
+        if staleness_us is None:
+            staleness_us = 4.0 * self.batch_period_us
+        out = []
+        for rank in range(self.n_ranks):
+            last = self._last_seen.get(rank)
+            if last is None or now - last > staleness_us:
+                out.append(rank)
+        return out
+
+    # -- canonical replay ---------------------------------------------------
+
+    def _replay(self) -> _Analysis:
+        """Build derived state by replaying the store in canonical order.
+
+        The store is keyed, so the replay order is a function of the data
+        only — identical matrices for any batch arrival order.  Canonical
+        order is slice-major (virtual time), matching how a loss-free
+        in-order run would have fed the online history.
+        """
+        if self._analysis is not None:
+            return self._analysis
+        analysis = _Analysis()
+        history = analysis.history
+        totals: dict[tuple[int, int], dict[int, list[float]]] = {}
+        # Slice-major (virtual-time) order, then rank/sensor/group as the
+        # deterministic tiebreak.
+        for key in sorted(self._store, key=lambda k: (k[3], k[0], k[1], k[2])):
+            summary = self._store[key]
+            window = int(summary.t_slice_start // self.window_us)
+            perf = history.observe(summary.sensor_id, summary.group, summary.mean_duration)
+            analysis.cells.setdefault((summary.sensor_type, window), {}).setdefault(
+                summary.rank, []
+            ).append(perf)
+            totals.setdefault((summary.sensor_id, window), {}).setdefault(
+                summary.rank, []
+            ).append(summary.mean_duration)
+        for sensor_window, per_rank in totals.items():
+            analysis.per_sensor[sensor_window] = {
+                rank: float(np.mean(values)) for rank, values in per_rank.items()
+            }
+        self._analysis = analysis
+        return analysis
+
+    @property
+    def history(self) -> SensorHistory:
+        """Cross-rank standard times, as replayed from the current store."""
+        return self._replay().history
 
     # -- inter-process analysis (§5.4) --------------------------------------
 
     def detect_inter_process(self, min_ranks: int = 2) -> list[InterProcessEvent]:
         """Compare the same v-sensor across ranks within each window."""
+        analysis = self._replay()
         self.inter_events = []
-        for (sensor_id, window), per_rank in sorted(self._per_sensor.items()):
+        for (sensor_id, window), per_rank in sorted(analysis.per_sensor.items()):
             if len(per_rank) < min_ranks:
                 continue
-            durations = np.array(list(per_rank.values()))
-            ranks = np.array(list(per_rank.keys()))
+            ranks = np.array(sorted(per_rank))
+            durations = np.array([per_rank[int(r)] for r in ranks])
             best = durations.min()
             if best <= 0:
                 continue
@@ -101,15 +224,15 @@ class AnalysisServer:
             slow_mask = perf < self.threshold
             if not slow_mask.any():
                 continue
-            sensor_type = self._sensor_type_of(sensor_id)
             self.inter_events.append(
                 InterProcessEvent(
                     sensor_id=sensor_id,
-                    sensor_type=sensor_type,
+                    sensor_type=self._sensor_type_of(sensor_id),
                     window_index=window,
                     t_window_start=window * self.window_us,
-                    slow_ranks=tuple(int(r) for r in np.sort(ranks[slow_mask])),
+                    slow_ranks=tuple(int(r) for r in ranks[slow_mask]),
                     worst_performance=float(perf.min()),
+                    coverage=len(per_rank) / self.n_ranks if self.n_ranks else 1.0,
                 )
             )
         return self.inter_events
@@ -123,10 +246,13 @@ class AnalysisServer:
         """(n_ranks, n_windows) matrix of normalized performance.
 
         Cells without data are NaN; the visualizer paints them neutrally.
+        Degraded ranks simply keep their NaN cells — partial telemetry
+        must never crash matrix rendering.
         """
+        analysis = self._replay()
         n_windows = self._max_window + 1
         matrix = np.full((self.n_ranks, n_windows), np.nan)
-        for (stype, window), ranks in self._cells.items():
+        for (stype, window), ranks in analysis.cells.items():
             if stype is not sensor_type:
                 continue
             for rank, values in ranks.items():

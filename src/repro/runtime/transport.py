@@ -3,10 +3,26 @@
 The paper: data reaches the analysis server "by processes sending messages
 to analysis-server or by updating shared files."  The default path in this
 package is direct in-memory delivery (the message analogue).  This module
-adds the shared-file alternative: each rank appends binary batches to its
-own spool file; the server drains the spools, either periodically during
-the run or once at the end.  The wire format matches ``SliceSummary``'s
-accounted size, so the §6.4 volume numbers are transport-independent.
+adds the two hardened alternatives:
+
+* :class:`FileSpool` — the shared-file path.  Each rank appends binary
+  frames to its own spool file; the server drains the spools, either
+  periodically during the run or once at the end.  The spool persists the
+  dynamic-rule group string table inline (a fresh reader process decodes
+  groups without the writer's memory) and a drain only ever consumes
+  complete frames, so a truncated tail — a writer caught mid-append —
+  is left for the next drain instead of corrupting the stream.
+* :class:`ReliableTransport` — the message path over an unreliable
+  channel (:mod:`repro.runtime.channel`).  Batches carry per-rank
+  sequence numbers; unacknowledged batches are retransmitted on timeout
+  with exponential backoff, and the server's watermark-based ingest
+  deduplicates the redeliveries.  Delivery guarantee: at-least-once on
+  the wire, exactly-once effect in the matrices.  Ranks whose batches
+  exhaust their retry budget are marked *degraded* on the server instead
+  of crashing the run.
+
+The record wire format matches ``SliceSummary``'s accounted size, so the
+§6.4 volume numbers are transport-independent.
 """
 
 from __future__ import annotations
@@ -15,6 +31,8 @@ import os
 import struct
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
+from repro.runtime.channel import LossyChannel
 from repro.runtime.records import SliceSummary
 from repro.runtime.server import AnalysisServer
 from repro.sensors.model import SensorType
@@ -23,8 +41,12 @@ from repro.sensors.model import SensorType
 #: count (u16), mean cache miss scaled to u16 — 16 bytes with padding,
 #: matching SliceSummary.WIRE_BYTES.
 _RECORD = struct.Struct("<IIfHHxx")
-_BATCH_HEADER = struct.Struct("<IHH")  # rank (u32), n (u16), type+group tag
+_FRAME_HEADER = struct.Struct("<IHH")  # rank (u32), kind (u16), tag (u16)
+_GROUP_LEN = struct.Struct("<H")
 
+#: ``kind`` value marking a group-definition frame; record frames carry
+#: their (historical) record count of 1 there.
+_GROUP_FRAME = 0xFFFF
 
 _TYPE_CODE = {SensorType.COMPUTATION: 0, SensorType.NETWORK: 1, SensorType.IO: 2}
 _CODE_TYPE = {v: k for k, v in _TYPE_CODE.items()}
@@ -32,11 +54,21 @@ _CODE_TYPE = {v: k for k, v in _TYPE_CODE.items()}
 
 @dataclass(slots=True)
 class FileSpool:
-    """Rank-side writer plus server-side drainer over a spool directory."""
+    """Rank-side writer plus server-side drainer over a spool directory.
+
+    Writer and reader may be different :class:`FileSpool` instances in
+    different processes: the group string table travels inside the spool
+    files as definition frames, emitted into each rank's file before the
+    first record that uses the group.
+    """
 
     directory: str
-    #: group names are interned per spool (dynamic-rule group strings)
+    #: writer-side intern table (dynamic-rule group strings); code 0 is ""
     _groups: list[str] = field(default_factory=lambda: [""])
+    #: writer-side: group codes already defined in each rank's file
+    _written_codes: dict[int, set[int]] = field(default_factory=dict)
+    #: reader-side: group tables decoded per rank file
+    _reader_groups: dict[int, dict[int, str]] = field(default_factory=dict)
     _offsets: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -50,16 +82,27 @@ class FileSpool:
             return self._groups.index(group)
         except ValueError:
             self._groups.append(group)
-            return len(self._groups) - 1
+            code = len(self._groups) - 1
+            if code > 0x0FFF:
+                raise ReproError("spool group table overflow (max 4096 groups)")
+            return code
 
     # -- rank side ---------------------------------------------------------
 
     def append_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
         """Append one batch to the rank's spool file."""
+        written = self._written_codes.setdefault(rank, {0})
         chunks = []
         for s in summaries:
-            tag = (_TYPE_CODE[s.sensor_type] << 12) | (self._group_code(s.group) & 0x0FFF)
-            chunks.append(_BATCH_HEADER.pack(rank, 1, tag))
+            code = self._group_code(s.group)
+            if code not in written:
+                written.add(code)
+                encoded = s.group.encode("utf-8")
+                chunks.append(_FRAME_HEADER.pack(rank, _GROUP_FRAME, code))
+                chunks.append(_GROUP_LEN.pack(len(encoded)))
+                chunks.append(encoded)
+            tag = (_TYPE_CODE[s.sensor_type] << 12) | (code & 0x0FFF)
+            chunks.append(_FRAME_HEADER.pack(rank, 1, tag))
             chunks.append(
                 _RECORD.pack(
                     s.sensor_id & 0xFFFFFFFF,
@@ -74,43 +117,79 @@ class FileSpool:
 
     # -- server side ----------------------------------------------------------
 
-    def drain_into(self, server: AnalysisServer, slice_us: float = 1000.0) -> int:
-        """Read all new spool data into the server; return summaries read."""
+    def drain_into(
+        self,
+        server: AnalysisServer,
+        slice_us: float = 1000.0,
+        expected_ranks: int | None = None,
+    ) -> int:
+        """Read all new spool data into the server; return summaries read.
+
+        With ``expected_ranks`` set, ranks that never produced a spool file
+        are marked degraded on the server — a quiet spool must not crash
+        (or silently skew) matrix rendering.
+        """
         total = 0
+        present: set[int] = set()
         for name in sorted(os.listdir(self.directory)):
             if not name.endswith(".spool"):
                 continue
             path = os.path.join(self.directory, name)
             rank = int(name[4:9])
+            present.add(rank)
             offset = self._offsets.get(rank, 0)
             with open(path, "rb") as fh:
                 fh.seek(offset)
                 data = fh.read()
-            self._offsets[rank] = offset + len(data)
-            total += self._decode_into(server, rank, data, slice_us)
+            count, consumed = self._decode_into(server, rank, data, slice_us)
+            # Only complete frames advance the offset: a truncated tail is
+            # re-read (and by then completed) on the next drain.
+            self._offsets[rank] = offset + consumed
+            total += count
+        if expected_ranks is not None:
+            for rank in range(expected_ranks):
+                if rank not in present:
+                    server.mark_degraded(rank)
         return total
 
     def _decode_into(
         self, server: AnalysisServer, rank: int, data: bytes, slice_us: float
-    ) -> int:
+    ) -> tuple[int, int]:
+        """Decode complete frames; return (records decoded, bytes consumed)."""
+        groups = self._reader_groups.setdefault(rank, {0: ""})
         pos = 0
         count = 0
         batch: list[SliceSummary] = []
-        while pos + _BATCH_HEADER.size + _RECORD.size <= len(data):
-            _rank, _n, tag = _BATCH_HEADER.unpack_from(data, pos)
-            pos += _BATCH_HEADER.size
+        while pos + _FRAME_HEADER.size <= len(data):
+            _rank, kind, tag = _FRAME_HEADER.unpack_from(data, pos)
+            body = pos + _FRAME_HEADER.size
+            if kind == _GROUP_FRAME:
+                if body + _GROUP_LEN.size > len(data):
+                    break
+                (length,) = _GROUP_LEN.unpack_from(data, body)
+                if body + _GROUP_LEN.size + length > len(data):
+                    break
+                start = body + _GROUP_LEN.size
+                groups[tag] = data[start : start + length].decode("utf-8")
+                pos = start + length
+                continue
+            if kind != 1:
+                raise ReproError(
+                    f"corrupt spool for rank {rank}: unknown frame kind {kind:#x} "
+                    f"at offset {self._offsets.get(rank, 0) + pos}"
+                )
+            if body + _RECORD.size > len(data):
+                break
             sensor_id, slice_index, mean_duration, n_records, miss_u16 = _RECORD.unpack_from(
-                data, pos
+                data, body
             )
-            pos += _RECORD.size
-            group_code = tag & 0x0FFF
-            group = self._groups[group_code] if group_code < len(self._groups) else ""
+            pos = body + _RECORD.size
             batch.append(
                 SliceSummary(
                     rank=rank,
                     sensor_id=sensor_id,
                     sensor_type=_CODE_TYPE[tag >> 12],
-                    group=group,
+                    group=groups.get(tag & 0x0FFF, ""),
                     slice_index=slice_index,
                     t_slice_start=slice_index * slice_us,
                     mean_duration=mean_duration,
@@ -121,7 +200,7 @@ class FileSpool:
             count += 1
         if batch:
             server.receive_batch(rank, batch)
-        return count
+        return count, pos
 
 
 @dataclass(slots=True)
@@ -150,6 +229,136 @@ class SpoolingRuntimeMixin:
     def finish(self, runtime, slice_us: float = 1000.0) -> AnalysisServer:
         """Drain everything and restore the real server on the runtime."""
         server = self._direct_server
-        self.spool.drain_into(server, slice_us=slice_us)
+        self.spool.drain_into(server, slice_us=slice_us, expected_ranks=runtime.n_ranks)
         runtime.server = server
         return server
+
+
+# ---------------------------------------------------------------------------
+# Reliable message transport over a lossy channel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class RetryPolicy:
+    """Rank-side retransmission parameters."""
+
+    #: first retransmit after this much virtual time without an ack
+    timeout_us: float = 50_000.0
+    #: exponential backoff factor per attempt
+    backoff: float = 2.0
+    #: backoff ceiling
+    max_timeout_us: float = 1_600_000.0
+    #: total send attempts per batch before the rank is marked degraded
+    max_attempts: int = 16
+
+    def retry_delay(self, attempts: int) -> float:
+        return min(self.timeout_us * self.backoff ** (attempts - 1), self.max_timeout_us)
+
+
+@dataclass(slots=True)
+class _Pending:
+    rank: int
+    seq: int
+    payload: tuple
+    attempts: int
+    next_retry_at: float
+
+
+@dataclass(slots=True)
+class ReliableTransport:
+    """Sequenced, acked, retrying delivery of rank batches to the server.
+
+    Duck-types the server surface :class:`VSensorRuntime` uses (install
+    with ``runtime.server = transport``): rank-side sends go through the
+    lossy channel, due envelopes are pumped into the real server, and the
+    server's cumulative ack watermark retires in-flight batches.  Acks
+    model the server's durable watermark being visible to ranks (the
+    shared-file analogue); the simulated faults apply to the data path.
+    """
+
+    server: AnalysisServer
+    channel: LossyChannel = field(default_factory=LossyChannel)
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: virtual clock: max timestamp observed from sends/pumps
+    clock: float = 0.0
+    #: batches abandoned after max_attempts, per rank
+    gave_up: dict[int, int] = field(default_factory=dict)
+    _next_seq: dict[int, int] = field(default_factory=dict)
+    _pending: dict[tuple[int, int], _Pending] = field(default_factory=dict)
+
+    @property
+    def batch_period_us(self) -> float:
+        return self.server.batch_period_us
+
+    # -- rank side ---------------------------------------------------------
+
+    def send_batch(self, rank: int, summaries: list[SliceSummary], now: float) -> int:
+        """Assign the next sequence number and launch the batch."""
+        self.clock = max(self.clock, now)
+        seq = self._next_seq.get(rank, 0)
+        self._next_seq[rank] = seq + 1
+        payload = tuple(summaries)
+        self.channel.send(rank, seq, payload, self.clock)
+        self._pending[(rank, seq)] = _Pending(
+            rank=rank, seq=seq, payload=payload, attempts=1,
+            next_retry_at=self.clock + self.policy.retry_delay(1),
+        )
+        self.pump(self.clock)
+        return seq
+
+    def receive_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
+        """Server-duck-type entry; infers 'now' from the batch content."""
+        now = max((s.t_slice_start for s in summaries), default=self.clock)
+        self.send_batch(rank, summaries, max(now, self.clock))
+
+    # -- pump --------------------------------------------------------------
+
+    def pump(self, now: float) -> None:
+        """Deliver due envelopes, retire acked batches, retransmit stale ones."""
+        self.clock = max(self.clock, now)
+        for envelope in self.channel.deliver_due(self.clock):
+            accepted = self.server.receive_batch(
+                envelope.rank, list(envelope.payload), seq=envelope.seq
+            )
+            if not accepted:
+                self.channel.stats.late += 1
+        for key, pending in list(self._pending.items()):
+            if self.server.is_acked(pending.rank, pending.seq):
+                del self._pending[key]
+            elif pending.next_retry_at <= self.clock:
+                if pending.attempts >= self.policy.max_attempts:
+                    del self._pending[key]
+                    self.gave_up[pending.rank] = self.gave_up.get(pending.rank, 0) + 1
+                    self.server.mark_degraded(pending.rank)
+                    continue
+                self.channel.stats.retried += 1
+                pending.attempts += 1
+                self.channel.send(pending.rank, pending.seq, pending.payload, self.clock)
+                pending.next_retry_at = self.clock + self.policy.retry_delay(pending.attempts)
+
+    def unacked(self) -> int:
+        return len(self._pending)
+
+    def finish(self) -> AnalysisServer:
+        """Drive virtual time forward until every batch is acked or abandoned."""
+        while self._pending or self.channel.pending():
+            targets = [p.next_retry_at for p in self._pending.values()]
+            due = self.channel.next_due()
+            if due is not None:
+                targets.append(due)
+            if not targets:
+                break
+            self.pump(max(self.clock, min(targets)))
+        return self.server
+
+    # -- server duck-typing for live reporting -----------------------------
+
+    def performance_matrix(self, sensor_type):
+        return self.server.performance_matrix(sensor_type)
+
+    def mean_rank_performance(self, sensor_type):
+        return self.server.mean_rank_performance(sensor_type)
+
+    def detect_inter_process(self, min_ranks: int = 2):
+        return self.server.detect_inter_process(min_ranks)

@@ -89,7 +89,13 @@ class VSensorRuntime(RuntimeHooks):
             self._buffers[rank].extend(new)
         due = now - self._last_batch[rank] >= self.server.batch_period_us
         if (due or force) and self._buffers[rank]:
-            self.server.receive_batch(rank, self._buffers[rank])
+            # Time-aware transports (ReliableTransport) take the virtual
+            # send time; the plain server keeps the two-argument form.
+            send = getattr(self.server, "send_batch", None)
+            if send is not None:
+                send(rank, self._buffers[rank], now)
+            else:
+                self.server.receive_batch(rank, self._buffers[rank])
             self._buffers[rank] = []
             self._last_batch[rank] = now
             if self.live is not None:

@@ -1,0 +1,160 @@
+"""Delivery-order invariance of the analysis server (hypothesis).
+
+The transport layer guarantees at-least-once delivery, not ordered
+exactly-once delivery — so the server's matrices and inter-process
+verdicts must be *bit-identical* under any permutation and any amount of
+redelivery of the batch stream, as long as nothing is permanently lost
+(loss = 0 after retries).  These properties pin that contract, both on
+synthetic batch pools and on batches captured from a real simulated run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.records import SliceSummary
+from repro.runtime.server import AnalysisServer
+from repro.sensors.model import SensorType
+
+N_RANKS = 4
+
+
+def _summary(rank, sensor_id, stype, group, slice_index, duration, miss=0.1):
+    return SliceSummary(
+        rank=rank,
+        sensor_id=sensor_id,
+        sensor_type=stype,
+        group=group,
+        slice_index=slice_index,
+        t_slice_start=slice_index * 1000.0,
+        mean_duration=duration,
+        count=3,
+        mean_cache_miss=miss,
+    )
+
+
+@st.composite
+def batch_pools(draw):
+    """A pool of per-rank batches with unique summary identities."""
+    keys = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, N_RANKS - 1),        # rank
+                st.sampled_from([1, 2]),            # sensor
+                st.sampled_from(["", "H", "L"]),    # group
+                st.integers(0, 5),                  # slice
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    summaries = []
+    for rank, sensor_id, group, slice_index in sorted(keys):
+        duration = draw(st.floats(min_value=0.5, max_value=100.0, allow_nan=False))
+        stype = SensorType.COMPUTATION if sensor_id == 1 else SensorType.NETWORK
+        summaries.append(_summary(rank, sensor_id, stype, group, slice_index, duration))
+    # Chunk each rank's summaries into batches and number them.
+    batches = []
+    for rank in range(N_RANKS):
+        mine = [s for s in summaries if s.rank == rank]
+        size = draw(st.integers(1, 4))
+        for seq, start in enumerate(range(0, len(mine), size)):
+            batches.append((rank, mine[start : start + size], seq))
+    return batches
+
+
+def _deliver(batches) -> AnalysisServer:
+    server = AnalysisServer(n_ranks=N_RANKS, window_us=2000.0)
+    for rank, batch, seq in batches:
+        server.receive_batch(rank, list(batch), seq=seq)
+    server.detect_inter_process()
+    return server
+
+
+def _assert_equivalent(a: AnalysisServer, b: AnalysisServer) -> None:
+    for stype in SensorType:
+        assert np.array_equal(
+            a.performance_matrix(stype), b.performance_matrix(stype), equal_nan=True
+        ), f"{stype} matrix differs"
+    assert a.inter_events == b.inter_events
+    assert a.degraded == b.degraded
+
+
+@given(pool=batch_pools(), order_seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_matrices_invariant_under_permutation(pool, order_seed):
+    baseline = _deliver(pool)
+    shuffled = list(pool)
+    random.Random(order_seed).shuffle(shuffled)
+    _assert_equivalent(baseline, _deliver(shuffled))
+
+
+@given(
+    pool=batch_pools(),
+    order_seed=st.integers(0, 2**32 - 1),
+    dup_seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_matrices_invariant_under_permutation_plus_duplication(pool, order_seed, dup_seed):
+    baseline = _deliver(pool)
+    rng = random.Random(dup_seed)
+    redelivered = list(pool) + [b for b in pool if rng.random() < 0.5]
+    random.Random(order_seed).shuffle(redelivered)
+    replayed = _deliver(redelivered)
+    _assert_equivalent(baseline, replayed)
+    assert replayed.duplicate_batches == len(redelivered) - len(pool)
+
+
+# -- the same property on batches captured from a real run -------------------
+
+
+class _BatchRecorder:
+    """Duck-typed server stand-in that records the rank batch stream."""
+
+    batch_period_us = 2_000.0
+
+    def __init__(self):
+        self.batches: list[tuple[int, tuple]] = []
+
+    def receive_batch(self, rank, summaries):
+        self.batches.append((rank, tuple(summaries)))
+
+
+@pytest.fixture(scope="module")
+def real_batches():
+    from repro.api import compile_and_instrument
+    from repro.runtime.vsensor_hooks import VSensorRuntime
+    from repro.sim import MachineConfig, Simulator
+    from tests.conftest import SIMPLE_MPI_PROGRAM
+
+    static = compile_and_instrument(SIMPLE_MPI_PROGRAM)
+    recorder = _BatchRecorder()
+    runtime = VSensorRuntime(
+        sensors=static.program.sensors,
+        n_ranks=N_RANKS,
+        server=recorder,  # type: ignore[arg-type]
+    )
+    machine = MachineConfig(n_ranks=N_RANKS, ranks_per_node=2)
+    Simulator(static.program.module, machine, sensors=static.program.sensors).run(runtime)
+    seqs: dict[int, int] = {}
+    numbered = []
+    for rank, batch in recorder.batches:
+        seq = seqs.get(rank, 0)
+        seqs[rank] = seq + 1
+        numbered.append((rank, batch, seq))
+    assert len(numbered) >= N_RANKS
+    return numbered
+
+
+@given(order_seed=st.integers(0, 2**32 - 1), dup_seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_real_run_batches_invariant(real_batches, order_seed, dup_seed):
+    baseline = _deliver(real_batches)
+    rng = random.Random(dup_seed)
+    redelivered = list(real_batches) + [b for b in real_batches if rng.random() < 0.3]
+    random.Random(order_seed).shuffle(redelivered)
+    _assert_equivalent(baseline, _deliver(redelivered))

@@ -1,0 +1,110 @@
+"""Lossy-channel simulator tests: determinism, fault mix, CLI spec parsing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.channel import (
+    ChannelConfig,
+    LossyChannel,
+    perfect_channel,
+    with_seed,
+)
+
+
+def _run_schedule(channel, n=200):
+    """Send n one-item payloads and drain everything; return delivery order."""
+    for i in range(n):
+        channel.send(rank=i % 4, seq=i // 4, payload=(i,), now=float(i) * 100.0)
+    order = []
+    t = 0.0
+    while channel.pending():
+        t = channel.next_due()
+        order.extend(e.payload[0] for e in channel.deliver_due(t))
+    return order
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def test_same_seed_same_failure_schedule():
+    config = ChannelConfig(drop_rate=0.2, dup_rate=0.2, reorder_rate=0.3, seed=42)
+    a = _run_schedule(LossyChannel(config=config))
+    b = _run_schedule(LossyChannel(config=config))
+    assert a == b
+
+
+def test_different_seed_different_schedule():
+    config = ChannelConfig(drop_rate=0.2, dup_rate=0.2, reorder_rate=0.3, seed=42)
+    a = _run_schedule(LossyChannel(config=config))
+    b = _run_schedule(LossyChannel(config=with_seed(config, 43)))
+    assert a != b
+
+
+# -- fault behaviour ---------------------------------------------------------
+
+
+def test_perfect_channel_is_fifo_and_lossless():
+    channel = perfect_channel(delay_us=10.0)
+    delivered = _run_schedule(channel)
+    assert delivered == list(range(200))
+    assert channel.stats.dropped == 0
+    assert channel.stats.duplicated == 0
+    assert channel.stats.delivered == 200
+
+
+def test_drop_rate_loses_messages():
+    channel = LossyChannel(config=ChannelConfig(drop_rate=0.5, seed=1))
+    delivered = _run_schedule(channel)
+    assert 0 < len(delivered) < 200
+    assert channel.stats.dropped == 200 - len(delivered)
+    assert channel.stats.sent == 200
+
+
+def test_dup_rate_creates_extra_copies():
+    channel = LossyChannel(config=ChannelConfig(dup_rate=0.5, seed=1))
+    delivered = _run_schedule(channel)
+    assert len(delivered) > 200
+    assert channel.stats.duplicated == len(delivered) - 200
+
+
+def test_reordering_perturbs_delivery_order():
+    channel = LossyChannel(config=ChannelConfig(reorder_rate=0.3, seed=7))
+    delivered = _run_schedule(channel)
+    assert sorted(delivered) == list(range(200)), "reordering never loses data"
+    assert delivered != list(range(200))
+    assert channel.stats.reordered > 0
+
+
+def test_deliver_due_respects_virtual_time():
+    channel = perfect_channel(delay_us=100.0)
+    channel.send(0, 0, ("x",), now=0.0)
+    assert channel.deliver_due(50.0) == []
+    assert channel.next_due() == pytest.approx(100.0)
+    (envelope,) = channel.deliver_due(100.0)
+    assert envelope.payload == ("x",)
+    assert channel.pending() == 0
+
+
+# -- spec parsing ------------------------------------------------------------
+
+
+def test_parse_full_spec():
+    config = ChannelConfig.parse("drop=0.1, dup=0.05, reorder=0.2, delay=500, jitter=50, seed=7")
+    assert config.drop_rate == 0.1
+    assert config.dup_rate == 0.05
+    assert config.reorder_rate == 0.2
+    assert config.delay_us == 500.0
+    assert config.jitter_us == 50.0
+    assert config.seed == 7
+
+
+def test_parse_shorthands():
+    assert not ChannelConfig.parse("perfect").is_faulty
+    lossy = ChannelConfig.parse("lossy")
+    assert lossy.drop_rate == 0.1 and lossy.dup_rate == 0.1 and lossy.reorder_rate == 0.2
+
+
+@pytest.mark.parametrize("spec", ["drop", "nope=1", "drop=1.5", "drop=", "dup=-0.1"])
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(ReproError):
+        ChannelConfig.parse(spec)

@@ -104,6 +104,100 @@ def test_group_interning_round_trip(tmp_path):
     assert [s.group for s in _CapturingServer.captured] == ["H", "L"]
 
 
+def test_group_interning_survives_fresh_reader(tmp_path):
+    """The group string table is persisted in the spool files: a reader
+    built in a different process (fresh instance, no shared memory with
+    the writer) must decode every group, not ""."""
+    writer = FileSpool(directory=str(tmp_path))
+    writer.append_batch(0, [summary(0, 0, 10.0, group="H"), summary(0, 1, 12.0, group="L")])
+    writer.append_batch(1, [summary(1, 0, 11.0, group="L")])
+    # Second batch re-uses an already-defined group: no redefinition frame.
+    writer.append_batch(0, [summary(0, 2, 10.5, group="H")])
+
+    reader = FileSpool(directory=str(tmp_path))
+    _CapturingServer.captured = []
+    server = _CapturingServer(n_ranks=2, window_us=1000.0)
+    assert reader.drain_into(server) == 4
+    by_rank = sorted((s.rank, s.slice_index, s.group) for s in _CapturingServer.captured)
+    assert by_rank == [(0, 0, "H"), (0, 1, "L"), (0, 2, "H"), (1, 0, "L")]
+
+
+def test_fresh_reader_between_incremental_drains(tmp_path):
+    """Group codes defined before a reader's first drain still resolve in
+    later drains (the reader's table persists across drains)."""
+    writer = FileSpool(directory=str(tmp_path))
+    writer.append_batch(0, [summary(0, 0, 10.0, group="band9")])
+    reader = FileSpool(directory=str(tmp_path))
+    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    _CapturingServer.captured = []
+    assert reader.drain_into(server) == 1
+    writer.append_batch(0, [summary(0, 1, 10.0, group="band9")])
+    assert reader.drain_into(server) == 1
+    assert [s.group for s in _CapturingServer.captured] == ["band9", "band9"]
+
+
+# -- wire-format round-trips -------------------------------------------------
+
+
+def test_count_saturates_at_u16(tmp_path):
+    import dataclasses
+
+    spool = FileSpool(directory=str(tmp_path))
+    spool.append_batch(0, [dataclasses.replace(summary(0, 0, 10.0), count=100_000)])
+    _CapturingServer.captured = []
+    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    spool.drain_into(server)
+    assert _CapturingServer.captured[0].count == 0xFFFF
+
+
+def test_cache_miss_u16_quantization_bound(tmp_path):
+    """Decoded miss rate is within one u16 quantum of the original."""
+    import dataclasses
+
+    rates = [0.0, 1e-6, 0.123456, 0.5, 0.999999, 1.0, 1.7, -0.3]
+    spool = FileSpool(directory=str(tmp_path))
+    spool.append_batch(
+        0,
+        [
+            dataclasses.replace(summary(0, i, 10.0), mean_cache_miss=rate)
+            for i, rate in enumerate(rates)
+        ],
+    )
+    _CapturingServer.captured = []
+    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    spool.drain_into(server)
+    for original, decoded in zip(rates, _CapturingServer.captured):
+        clamped = min(max(original, 0.0), 1.0)
+        assert 0.0 <= decoded.mean_cache_miss <= 1.0
+        assert abs(decoded.mean_cache_miss - clamped) <= 1.0 / 0xFFFF
+
+
+def test_truncated_tail_does_not_corrupt_next_drain(tmp_path):
+    """A partial record at EOF (writer caught mid-append) is skipped and
+    decoded intact once the rest of the bytes land."""
+    import os
+
+    writer = FileSpool(directory=str(tmp_path))
+    writer.append_batch(0, [summary(0, 0, 10.0), summary(0, 1, 11.0, group="tail")])
+    path = os.path.join(str(tmp_path), "rank00000.spool")
+    with open(path, "rb") as fh:
+        full = fh.read()
+
+    for cut in range(1, len(full)):
+        reader = FileSpool(directory=str(tmp_path))
+        _CapturingServer.captured = []
+        server = _CapturingServer(n_ranks=1, window_us=1000.0)
+        with open(path, "wb") as fh:
+            fh.write(full[:cut])
+        reader.drain_into(server)
+        with open(path, "wb") as fh:
+            fh.write(full)
+        reader.drain_into(server)
+        got = sorted((s.slice_index, s.group, round(s.mean_duration, 3))
+                     for s in _CapturingServer.captured)
+        assert got == [(0, "", 10.0), (1, "tail", 11.0)], f"cut at byte {cut}"
+
+
 def test_end_to_end_spooled_run(tmp_path):
     """Full pipeline with spool delivery: same matrices as direct."""
     from repro.api import run_vsensor
@@ -138,3 +232,99 @@ def test_end_to_end_spooled_run(tmp_path):
     # Same cells populated; values agree to quantization.
     assert np.array_equal(np.isfinite(d), np.isfinite(s))
     assert np.allclose(d[np.isfinite(d)], s[np.isfinite(s)], rtol=1e-4)
+
+
+# -- reliable message transport over a lossy channel -------------------------
+
+
+def _batches(n_ranks=2, slices=6):
+    return {
+        rank: [[summary(rank, s, 10.0 + rank)] for s in range(slices)]
+        for rank in range(n_ranks)
+    }
+
+
+def _send_all(transport, batches):
+    from itertools import chain
+
+    for rank, per_rank in batches.items():
+        for i, batch in enumerate(per_rank):
+            transport.send_batch(rank, batch, now=float(i) * 1000.0)
+    return transport
+
+
+def test_reliable_transport_recovers_from_drops():
+    from repro.runtime.channel import ChannelConfig, LossyChannel
+    from repro.runtime.transport import ReliableTransport
+
+    import numpy as np
+
+    batches = _batches()
+    direct = AnalysisServer(n_ranks=2, window_us=1000.0)
+    for rank, per_rank in batches.items():
+        for batch in per_rank:
+            direct.receive_batch(rank, batch)
+
+    lossy = AnalysisServer(n_ranks=2, window_us=1000.0)
+    channel = LossyChannel(config=ChannelConfig(drop_rate=0.4, reorder_rate=0.3, seed=11))
+    transport = ReliableTransport(server=lossy, channel=channel)
+    _send_all(transport, batches)
+    transport.finish()
+
+    assert transport.unacked() == 0
+    assert channel.stats.dropped > 0, "the scenario must actually exercise loss"
+    assert channel.stats.retried >= channel.stats.dropped
+    d = direct.performance_matrix(SensorType.COMPUTATION)
+    s = lossy.performance_matrix(SensorType.COMPUTATION)
+    assert np.array_equal(d, s, equal_nan=True), "recovered matrices are bit-identical"
+    assert lossy.degraded == set()
+
+
+def test_reliable_transport_dedupes_channel_duplicates():
+    from repro.runtime.channel import ChannelConfig, LossyChannel
+    from repro.runtime.transport import ReliableTransport
+
+    server = AnalysisServer(n_ranks=2, window_us=1000.0)
+    channel = LossyChannel(config=ChannelConfig(dup_rate=0.9, seed=3))
+    transport = ReliableTransport(server=server, channel=channel)
+    _send_all(transport, _batches())
+    transport.finish()
+
+    assert channel.stats.duplicated > 0
+    assert server.duplicate_batches > 0
+    assert server.duplicate_summaries == 0, "duplicates die at the seq watermark"
+    # Every unique summary arrived exactly once in effect.
+    assert len(server._store) == 12
+
+
+def test_reliable_transport_gives_up_and_marks_degraded():
+    from repro.runtime.channel import ChannelConfig, LossyChannel
+    from repro.runtime.transport import ReliableTransport, RetryPolicy
+
+    server = AnalysisServer(n_ranks=2, window_us=1000.0)
+    channel = LossyChannel(config=ChannelConfig(drop_rate=0.97, seed=5))
+    policy = RetryPolicy(timeout_us=1000.0, max_attempts=3)
+    transport = ReliableTransport(server=server, channel=channel, policy=policy)
+    _send_all(transport, _batches())
+    transport.finish()
+
+    assert transport.unacked() == 0, "finish() always terminates"
+    assert sum(transport.gave_up.values()) > 0
+    assert server.degraded, "abandoned ranks are marked degraded"
+    # Degraded ranks must not crash matrix rendering.
+    matrix = server.performance_matrix(SensorType.COMPUTATION)
+    assert matrix.shape[0] == 2
+
+
+def test_reliable_transport_infers_time_from_batches():
+    """The duck-typed receive_batch path (no explicit now) still delivers."""
+    from repro.runtime.channel import perfect_channel
+    from repro.runtime.transport import ReliableTransport
+
+    server = AnalysisServer(n_ranks=1, window_us=1000.0)
+    transport = ReliableTransport(server=server, channel=perfect_channel())
+    transport.receive_batch(0, [summary(0, 0, 10.0)])
+    transport.receive_batch(0, [summary(0, 5, 10.0)])
+    transport.finish()
+    assert server.summaries_received == 2
+    assert transport.clock >= 5000.0
