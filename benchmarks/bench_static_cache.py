@@ -1,0 +1,121 @@
+"""Static-compile artifact cache: cold vs warm trajectory.
+
+Times ``compile_and_instrument`` over every bundled workload twice against
+one artifact store — a cold compile (every pass executes) and a warm one
+(every pass is a content-hash cache hit) — and writes the measurements to
+``BENCH_static.json`` at the repo root.
+
+The shape this pins: warm compiles are ≥5× faster than cold in aggregate,
+and the cached output is *bit-identical* to a fresh uncached compile —
+emitted source and sensor registry alike — including after a targeted
+mid-pipeline invalidation (the dataflow artifact is dropped, recomputes,
+and every downstream stage still hits because keys derive from content).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.api import compile_and_instrument
+from repro.pipeline import ArtifactStore
+from repro.workloads import all_workloads
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_static.json")
+REPS = 5
+
+
+def _compile(source, name, store):
+    return compile_and_instrument(source, filename=name, store=store)
+
+
+def _best(fn) -> tuple[float, object]:
+    """Best-of-REPS wall time and the last result."""
+    best, result = float("inf"), None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.mark.slow
+def test_static_cache_trajectory():
+    rows = []
+    cold_total = warm_total = 0.0
+    for name, workload in sorted(all_workloads().items()):
+        source = workload.source(scale=1)
+
+        # Cold: a fresh store per rep, so every pass executes every time.
+        def cold_compile():
+            return _compile(source, name, ArtifactStore())
+
+        cold_s, cold_static = _best(cold_compile)
+        assert cold_static.profile.misses == 7
+
+        # Warm: one primed store; every pass is a cache hit.
+        store = ArtifactStore()
+        _compile(source, name, store)
+        warm_s, warm_static = _best(lambda: _compile(source, name, store))
+        assert warm_static.profile.hits == 7
+
+        # Bit-identical proof: warm output == fresh uncached output.
+        fresh = _compile(source, name, None)
+        assert warm_static.source == fresh.source
+        assert sorted(warm_static.program.sensors) == sorted(fresh.program.sensors)
+
+        # Targeted invalidation: dataflow recomputes, downstream still hits,
+        # output unchanged.
+        store.invalidate_pass("dataflow")
+        revalidated = _compile(source, name, store)
+        outcome = {t.name: t.cache_hit for t in revalidated.profile.timings}
+        assert outcome["dataflow"] is False
+        assert outcome["identify"] and outcome["select"] and outcome["instrument"]
+        assert revalidated.source == fresh.source
+
+        cold_total += cold_s
+        warm_total += warm_s
+        rows.append(
+            {
+                "workload": name,
+                "cold_seconds": round(cold_s, 6),
+                "warm_seconds": round(warm_s, 6),
+                "speedup": round(cold_s / warm_s, 2),
+                "bit_identical_to_uncached": True,
+                "invalidation_preserves_output": True,
+            }
+        )
+
+    aggregate = cold_total / warm_total
+    payload = {
+        "benchmark": "static pipeline: cold compile vs warm artifact cache",
+        "unit": "best-of-%d wall-clock seconds per compile_and_instrument" % REPS,
+        "results": rows,
+        "aggregate": {
+            "cold_seconds": round(cold_total, 6),
+            "warm_seconds": round(warm_total, 6),
+            "speedup": round(aggregate, 2),
+        },
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\n{'workload':<10s} {'cold (ms)':>10s} {'warm (ms)':>10s} {'speedup':>8s}")
+    for row in rows:
+        print(
+            f"{row['workload']:<10s} {row['cold_seconds'] * 1e3:>10.3f} "
+            f"{row['warm_seconds'] * 1e3:>10.3f} {row['speedup']:>7.2f}x"
+        )
+    print(f"{'TOTAL':<10s} {cold_total * 1e3:>10.3f} {warm_total * 1e3:>10.3f} "
+          f"{aggregate:>7.2f}x")
+
+    # The acceptance gate: warm ≥5× faster than cold in aggregate.
+    assert aggregate >= 5.0
+
+
+if __name__ == "__main__":
+    test_static_cache_trajectory()

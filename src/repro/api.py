@@ -1,9 +1,13 @@
 """High-level pipeline: the eight workflow steps in one call.
 
-:func:`compile_and_instrument` covers the static module (steps 1–5);
-:func:`run_vsensor` adds the dynamic module (steps 6–8) on the simulated
-cluster and returns everything a study needs: identification results,
-instrumentation plan, simulation outcome, and the variance report.
+:func:`compile_and_instrument` covers the static module (steps 1–5), now
+executed through the :mod:`repro.pipeline` pass manager: parse → lower →
+cfa → dataflow → identify → select → instrument, with per-pass timing and
+content-addressed artifact caching (repeat compiles of unchanged text and
+config reuse every stage).  :func:`run_vsensor` adds the dynamic module
+(steps 6–8) on the simulated cluster and returns everything a study needs:
+identification results, instrumentation plan, simulation outcome, and the
+variance report.
 """
 
 from __future__ import annotations
@@ -11,15 +15,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.diagnostics import Diagnostic
 from repro.frontend import Module, parse_source
-from repro.instrument import InstrumentationPlan, InstrumentedProgram, instrument_module, select_sensors
+from repro.instrument import InstrumentationPlan, InstrumentedProgram
+from repro.pipeline import (
+    ArtifactStore,
+    CompilerContext,
+    PipelineProfile,
+    default_store,
+    static_pass_manager,
+)
 from repro.runtime.detector import DetectorConfig
 from repro.runtime.dynrules import DynamicRule, NoGrouping
 from repro.runtime.report import VarianceReport
 from repro.runtime.vsensor_hooks import VSensorRuntime
-from repro.sensors import IdentificationResult, identify_vsensors
+from repro.sensors import IdentificationResult
 from repro.sensors.extern import ExternRegistry
 from repro.sim import Fault, MachineConfig, SimResult, Simulator
+
+#: sentinel: "use the process-wide default artifact store"
+_DEFAULT_STORE = object()
 
 
 @dataclass(slots=True)
@@ -30,6 +45,10 @@ class StaticResult:
     identification: IdentificationResult
     plan: InstrumentationPlan
     program: InstrumentedProgram
+    #: structured rejection/skip notes from identify, select and instrument
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-pass wall time and cache hit/miss accounting for this compile
+    profile: PipelineProfile = field(default_factory=PipelineProfile)
 
     @property
     def source(self) -> str:
@@ -43,7 +62,7 @@ class VSensorRun:
     static: StaticResult
     sim: SimResult
     runtime: VSensorRuntime
-    report: VarianceReport = field(default=None)  # type: ignore[assignment]
+    report: VarianceReport | None = None
     #: delivery counters when the run used a simulated lossy channel
     channel_stats: dict[str, int] | None = None
 
@@ -56,6 +75,7 @@ def compile_and_instrument(
     filename: str = "<program>",
     min_estimated_work: float = 0.0,
     annotations=None,
+    store: ArtifactStore | None | object = _DEFAULT_STORE,
 ) -> StaticResult:
     """Run the static module on program text.
 
@@ -64,19 +84,42 @@ def compile_and_instrument(
     ``annotations`` is an optional
     :class:`~repro.instrument.annotations.Annotations` with manual
     include/exclude marks.
-    """
-    module = parse_source(source, filename=filename)
-    identification = identify_vsensors(module, externs=externs, static_rules=static_rules)
-    if annotations is not None:
-        from repro.instrument.annotations import apply_annotations
 
-        apply_annotations(identification, annotations)
-    plan = select_sensors(
-        identification, max_depth=max_depth, min_estimated_work=min_estimated_work
+    ``store`` selects the artifact cache: by default the process-wide
+    store (so recompiling unchanged text is nearly free), an explicit
+    :class:`~repro.pipeline.ArtifactStore` for scoped/on-disk caching, or
+    ``None`` to disable caching for this call.
+    """
+    if store is _DEFAULT_STORE:
+        store = default_store()
+    ctx = CompilerContext(
+        source=source,
+        filename=filename,
+        config={
+            "max_depth": max_depth,
+            "externs": externs,
+            "static_rules": tuple(static_rules),
+            "min_estimated_work": min_estimated_work,
+            "annotations": annotations,
+        },
+        store=store,  # type: ignore[arg-type]
     )
-    program = instrument_module(module, plan.selected)
+    static_pass_manager().run(ctx)
+    selection = ctx.artifact("select")
+    program: InstrumentedProgram = ctx.artifact("instrument")
+    identification: IdentificationResult = selection.identification
+    diagnostics = (
+        identification.diagnostics()
+        + selection.plan.diagnostics
+        + program.diagnostics
+    )
     return StaticResult(
-        module=module, identification=identification, plan=plan, program=program
+        module=program.module,
+        identification=identification,
+        plan=selection.plan,
+        program=program,
+        diagnostics=diagnostics,
+        profile=ctx.profile,
     )
 
 
@@ -96,6 +139,7 @@ def run_vsensor(
     engine: str = "bytecode",
     channel=None,
     retry_policy=None,
+    store: ArtifactStore | None | object = _DEFAULT_STORE,
 ) -> VSensorRun:
     """Compile, instrument, simulate and analyze one program.
 
@@ -112,6 +156,8 @@ def run_vsensor(
     uses sequence numbers + retries (``retry_policy``) with idempotent
     server ingest, and the run's :attr:`VSensorRun.channel_stats` /
     report fields expose the delivery counters.
+
+    ``store`` is forwarded to :func:`compile_and_instrument`.
     """
     from repro.runtime.channel import ChannelConfig, LossyChannel
     from repro.runtime.server import AnalysisServer
@@ -119,7 +165,11 @@ def run_vsensor(
     from repro.sim.hooks import TeeHooks
 
     static = compile_and_instrument(
-        source, max_depth=max_depth, externs=externs, static_rules=static_rules
+        source,
+        max_depth=max_depth,
+        externs=externs,
+        static_rules=static_rules,
+        store=store,
     )
     server = AnalysisServer(
         n_ranks=machine.n_ranks,

@@ -83,10 +83,23 @@ def parse_fault(spec: str) -> Fault:
     )
 
 
+def _compile_kwargs(args) -> dict:
+    """Keyword arguments shared by every compiling subcommand."""
+    kwargs = {"max_depth": args.max_depth}
+    if getattr(args, "no_cache", False):
+        kwargs["store"] = None
+    return kwargs
+
+
+def _print_pass_profile(static) -> None:
+    print("\nper-pass profile:")
+    print(static.profile.format_table())
+
+
 def cmd_identify(args) -> int:
     source = _load_source(args)
     static = compile_and_instrument(
-        source, max_depth=args.max_depth, filename=args.program or args.workload
+        source, filename=args.program or args.workload, **_compile_kwargs(args)
     )
     ident = static.identification
     print(f"snippet candidates : {ident.snippet_count}")
@@ -97,15 +110,23 @@ def cmd_identify(args) -> int:
         print(f" {marker} {sensor.describe()}")
     print("(* = selected for instrumentation)")
     if args.explain:
-        print("\nrejected snippets:")
-        for snippet, reason in ident.rejections:
-            print(f"   {snippet.spelled} @ {snippet.function}:{snippet.loc.line} — {reason}")
+        print("\nrejected snippets (identify):")
+        for rejection in ident.rejections:
+            snippet = rejection.snippet
+            print(f"   {snippet.spelled} @ {rejection.diagnostic.format()}")
+        later = static.plan.diagnostics + static.program.diagnostics
+        if later:
+            print("\ndropped sensors (select/instrument):")
+            for diag in later:
+                print(f"   {diag.format()}")
+    if args.profile_passes:
+        _print_pass_profile(static)
     return 0
 
 
 def cmd_instrument(args) -> int:
     source = _load_source(args)
-    static = compile_and_instrument(source, max_depth=args.max_depth)
+    static = compile_and_instrument(source, **_compile_kwargs(args))
     out = args.output
     if out:
         with open(out, "w", encoding="utf-8") as fh:
@@ -113,6 +134,8 @@ def cmd_instrument(args) -> int:
         print(f"instrumented {len(static.plan.selected)} sensor(s) -> {out}")
     else:
         sys.stdout.write(static.source)
+    if args.profile_passes:
+        _print_pass_profile(static)
     return 0
 
 
@@ -134,10 +157,10 @@ def cmd_run(args) -> int:
         source,
         machine,
         faults=faults,
-        max_depth=args.max_depth,
         window_us=args.window_ms * 1000.0,
         engine=args.engine,
         channel=args.channel,
+        **_compile_kwargs(args),
     )
     if profiler is not None:
         import io
@@ -153,6 +176,8 @@ def cmd_run(args) -> int:
         print("profile written to out/profile.txt")
     print(f"instrumented : {run.static.plan.summary()}")
     print(f"total time   : {run.sim.total_time / 1e3:.2f} ms")
+    if args.profile_passes:
+        _print_pass_profile(run.static)
     print(run.report.summary())
     for sensor_type in SensorType:
         matrix = run.report.matrices.get(sensor_type)
@@ -192,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", help="bundled analogue (BT/CG/FT/LU/SP/AMG/LULESH/RAXML/FWQ)")
         p.add_argument("--scale", type=int, default=1, help="workload scale factor")
         p.add_argument("--max-depth", type=int, default=3, help="instrumentation depth cut")
+        p.add_argument(
+            "--profile-passes",
+            action="store_true",
+            help="print per-pass wall time and artifact-cache hit/miss table",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the compilation artifact cache for this invocation",
+        )
 
     p_identify = sub.add_parser("identify", help="list identified v-sensors")
     add_program_args(p_identify)

@@ -9,6 +9,7 @@ they wrap, and the instrumenter keys Tick/Tock insertion off node ids.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, field
 
@@ -19,6 +20,27 @@ _NODE_IDS = itertools.count(1)
 
 def _next_node_id() -> int:
     return next(_NODE_IDS)
+
+
+@contextlib.contextmanager
+def fresh_node_ids(start: int = 1):
+    """Number nodes created inside the block from ``start``.
+
+    The parser wraps each translation unit in this, so parsing the same
+    source always yields the same node ids — the property that makes
+    compilation content-addressable (sensor ids are node ids, and the
+    instrumented text embeds them in ``vs_tick(id)`` literals).  Ids still
+    never collide *within* one tree; nodes from different trees may share
+    ids, which is safe because node equality is identity and every id-keyed
+    map in the tool chain is per-tree.
+    """
+    global _NODE_IDS
+    saved = _NODE_IDS
+    _NODE_IDS = itertools.count(start)
+    try:
+        yield
+    finally:
+        _NODE_IDS = saved
 
 
 @dataclass(eq=False, slots=True)

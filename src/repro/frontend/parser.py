@@ -345,9 +345,15 @@ class Parser:
 
 
 def parse_source(source: str, filename: str = "<string>") -> A.Module:
-    """Parse program text into a :class:`~repro.frontend.ast_nodes.Module`."""
+    """Parse program text into a :class:`~repro.frontend.ast_nodes.Module`.
+
+    Node ids are numbered from 1 per translation unit, so parsing the same
+    text twice yields identical ids — compilation outputs (sensor ids,
+    instrumented source) are deterministic and therefore cacheable.
+    """
     tokens = tokenize(source, filename)
-    return Parser(tokens, source, filename).parse_module()
+    with A.fresh_node_ids():
+        return Parser(tokens, source, filename).parse_module()
 
 
 def parse_file(path: str) -> A.Module:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.diagnostics import Diagnostic, ReasonCode, Severity, Span
 from repro.errors import InstrumentError
 from repro.frontend import ast_nodes as A
 from repro.frontend.location import SourceLoc
@@ -46,6 +47,8 @@ class InstrumentedProgram:
     module: A.Module
     sensors: dict[int, SensorInfo] = field(default_factory=dict)
     skipped: list[VSensor] = field(default_factory=list)
+    #: one warning per skipped sensor (probe could not be spliced)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def source(self) -> str:
@@ -99,6 +102,16 @@ def instrument_module(
             block = entry[0] if entry else None
         if carrier is None or block is None:
             program.skipped.append(sensor)
+            program.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.WARNING,
+                    code=ReasonCode.UNSPLICEABLE,
+                    message=f"{sensor.snippet.spelled} has no statement-boundary "
+                    "carrier; probes not inserted",
+                    span=Span.from_node(sensor.snippet.node),
+                    origin="instrument",
+                )
+            )
             continue
         try:
             idx = next(i for i, s in enumerate(block.stmts) if s is carrier)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.diagnostics import Diagnostic, ReasonCode, Span, note
 from repro.sensors.asttools import subtree_ids
 from repro.sensors.identify import IdentificationResult
 from repro.sensors.model import SensorType, VSensor
@@ -29,6 +30,8 @@ class InstrumentationPlan:
     rejected_nested: list[VSensor] = field(default_factory=list)
     #: calls to externs too small to wrap in probes (math etc.)
     rejected_tiny: list[VSensor] = field(default_factory=list)
+    #: one structured diagnostic per rejected sensor ("explain" support)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     def by_type(self) -> dict[SensorType, int]:
         counts: dict[SensorType, int] = {}
@@ -45,6 +48,14 @@ class InstrumentationPlan:
             if t in counts
         ]
         return "+".join(parts) if parts else "0"
+
+
+def _reject(plan: InstrumentationPlan, bucket: list, sensor: VSensor,
+            code: ReasonCode, message: str) -> None:
+    bucket.append(sensor)
+    plan.diagnostics.append(
+        note(code, message, span=Span.from_node(sensor.snippet.node), origin="select")
+    )
 
 
 def _estimated_too_small(sensor: VSensor, estimator, threshold: float) -> bool:
@@ -111,6 +122,12 @@ def select_sensors(
     """
     plan = InstrumentationPlan()
 
+    # Selection owns the ``selected`` markers: clear any earlier run's flags
+    # so one (possibly cached and shared) identification result can feed
+    # many selections without the marks accumulating.
+    for sensor in result.sensors:
+        sensor.selected = False
+
     estimator = None
     if min_estimated_work > 0.0 and result.ir.ast is not None:
         from repro.sensors.estimate import WorkloadEstimator
@@ -120,15 +137,28 @@ def select_sensors(
     candidates: list[VSensor] = []
     for sensor in result.sensors:
         if not sensor.is_global:
-            plan.rejected_scope.append(sensor)
+            _reject(
+                plan, plan.rejected_scope, sensor, ReasonCode.LOCAL_SCOPE,
+                f"{sensor.snippet.spelled} is fixed only within "
+                f"{len(sensor.scope_loops)} enclosing loop(s), not program-wide",
+            )
         elif sensor.snippet.depth >= max_depth:
-            plan.rejected_depth.append(sensor)
+            _reject(
+                plan, plan.rejected_depth, sensor, ReasonCode.TOO_DEEP,
+                f"nesting depth {sensor.snippet.depth} >= max_depth {max_depth}",
+            )
         elif _is_tiny_extern_call(sensor, result):
-            plan.rejected_tiny.append(sensor)
+            _reject(
+                plan, plan.rejected_tiny, sensor, ReasonCode.BELOW_GRANULARITY,
+                f"{sensor.snippet.spelled} is too small to wrap in probes",
+            )
         elif estimator is not None and _estimated_too_small(
             sensor, estimator, min_estimated_work
         ):
-            plan.rejected_tiny.append(sensor)
+            _reject(
+                plan, plan.rejected_tiny, sensor, ReasonCode.BELOW_GRANULARITY,
+                f"estimated work below min_estimated_work={min_estimated_work:g}",
+            )
         else:
             candidates.append(sensor)
 
@@ -158,7 +188,11 @@ def select_sensors(
             for other in candidates
         )
         if nested:
-            plan.rejected_nested.append(sensor)
+            _reject(
+                plan, plan.rejected_nested, sensor, ReasonCode.NESTED_SENSOR,
+                f"{sensor.snippet.spelled} executes inside another selected "
+                "sensor's probes (outermost preferred)",
+            )
         else:
             kept.append(sensor)
 

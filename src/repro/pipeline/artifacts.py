@@ -1,0 +1,221 @@
+"""Content-addressed artifact storage for the compilation pipeline.
+
+Every pass output is keyed by a content hash of *(source text, pass config,
+upstream artifact keys)* — see :meth:`~repro.pipeline.manager.PassManager`.
+The store is a bounded in-memory LRU with an optional write-through on-disk
+layer, so repeated ``compile_and_instrument`` calls across benchmark sweeps
+(and, with a disk directory, across processes) reuse every unchanged stage.
+
+Keys are ``"<pass>:<sha256 hex>"``; the pass-name prefix gives the disk
+layout and lets callers invalidate one stage (`invalidate_pass`) to force a
+mid-pipeline recompute.  Because downstream keys are derived from upstream
+*keys* (not object identity), a recompute that produces the same content
+leaves every downstream entry valid — that is what makes targeted
+invalidation cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+
+class FingerprintError(TypeError):
+    """A config value has no deterministic content fingerprint.
+
+    The pipeline reacts by disabling caching for that compilation (never by
+    guessing): a wrong hash would silently serve stale artifacts.
+    """
+
+
+def fingerprint(value: Any) -> str:
+    """A deterministic, content-based string for a config value.
+
+    Handles scalars, enums, dataclasses, containers, and objects that either
+    expose ``cache_fingerprint()`` or carry no instance state.  Raises
+    :class:`FingerprintError` for anything else.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__qualname__}.{value.name}"
+    hook = getattr(value, "cache_fingerprint", None)
+    if callable(hook):
+        return str(hook())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={fingerprint(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    if isinstance(value, (list, tuple)):
+        items = ",".join(fingerprint(v) for v in value)
+        return f"{type(value).__name__}[{items}]"
+    if isinstance(value, (set, frozenset)):
+        items = ",".join(sorted(fingerprint(v) for v in value))
+        return f"{type(value).__name__}{{{items}}}"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{fingerprint(k)}:{fingerprint(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: fingerprint(kv[0]))
+        )
+        return f"dict{{{items}}}"
+    # Stateless strategy objects (e.g. a static rule with only class attrs)
+    # are identified by their class.
+    try:
+        state = vars(value)
+    except TypeError:
+        raise FingerprintError(
+            f"{type(value).__qualname__} has no deterministic fingerprint; "
+            "define cache_fingerprint() on it or pass store=None"
+        ) from None
+    if not state:
+        return type(value).__qualname__
+    fields = ",".join(f"{k}={fingerprint(v)}" for k, v in sorted(state.items()))
+    return f"{type(value).__qualname__}({fields})"
+
+
+def digest(*parts: str) -> str:
+    """SHA-256 over the parts, framed so no concatenation can collide."""
+    h = hashlib.sha256()
+    for part in parts:
+        raw = part.encode("utf-8")
+        h.update(len(raw).to_bytes(8, "little"))
+        h.update(raw)
+    return h.hexdigest()
+
+
+@dataclasses.dataclass(slots=True)
+class StoreStats:
+    """Hit/miss counters, overall and per pass name."""
+
+    hits: int = 0
+    misses: int = 0
+    by_pass: dict[str, list] = dataclasses.field(default_factory=dict)
+
+    def record(self, pass_name: str, hit: bool) -> None:
+        entry = self.by_pass.setdefault(pass_name, [0, 0])
+        if hit:
+            self.hits += 1
+            entry[0] += 1
+        else:
+            self.misses += 1
+            entry[1] += 1
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            name: {"hits": h, "misses": m} for name, (h, m) in self.by_pass.items()
+        }
+
+
+class ArtifactStore:
+    """Bounded LRU of pass artifacts with an optional on-disk layer.
+
+    ``capacity`` bounds the number of in-memory entries (artifacts are
+    whole ASTs / IR modules, so the bound is a count, not bytes).  With
+    ``disk_dir`` set, every put is written through as a pickle and misses
+    fall back to disk; unpicklable artifacts and corrupt files degrade to
+    cache misses, never to errors.
+    """
+
+    def __init__(self, capacity: int = 128, disk_dir: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = StoreStats()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup / insert -----------------------------------------------------
+
+    def get(self, key: str) -> tuple[Any, bool]:
+        """``(artifact, hit)``; a disk hit is promoted into memory."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return self._entries[key], True
+        value = self._disk_read(key)
+        if value is not None:
+            self._remember(key, value)
+            return value, True
+        return None, False
+
+    def put(self, key: str, value: Any) -> None:
+        self._remember(key, value)
+        self._disk_write(key, value)
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_key(self, key: str) -> bool:
+        """Drop one entry (memory and disk); True if anything was removed."""
+        removed = self._entries.pop(key, None) is not None
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            path.unlink()
+            removed = True
+        return removed
+
+    def invalidate_pass(self, pass_name: str) -> int:
+        """Drop every artifact of one pass; returns the number removed."""
+        prefix = f"{pass_name}:"
+        doomed = [k for k in self._entries if k.startswith(prefix)]
+        for key in doomed:
+            del self._entries[key]
+        removed = len(doomed)
+        if self.disk_dir is not None:
+            pass_dir = self.disk_dir / pass_name
+            if pass_dir.is_dir():
+                for path in pass_dir.glob("*.pkl"):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        if self.disk_dir is not None and self.disk_dir.is_dir():
+            for path in self.disk_dir.glob("*/*.pkl"):
+                path.unlink()
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        pass_name, _, hexdigest = key.partition(":")
+        return self.disk_dir / pass_name / f"{hexdigest}.pkl"
+
+    def _disk_read(self, key: str) -> Any | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return None  # corrupt / version-skewed entry: treat as a miss
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic publish: readers never see a torn file
+        except Exception:
+            return  # unpicklable artifact / full disk: stay memory-only

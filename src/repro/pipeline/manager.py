@@ -1,0 +1,159 @@
+"""The pass manager: named passes, dependency ordering, timing, caching.
+
+A :class:`Pass` declares its inputs (names of upstream passes) and which
+context-config keys feed its behaviour.  The :class:`PassManager`
+topologically orders registered passes, runs the ones a target needs, times
+every execution, and — when the context carries an
+:class:`~repro.pipeline.artifacts.ArtifactStore` — reuses cached artifacts
+keyed by content hash of *(source text, pass config, upstream artifact
+keys)*.  Two compilations of the same text under the same config therefore
+share every stage, while any change to the source or to one knob invalidates
+exactly the passes downstream of it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.pipeline.artifacts import FingerprintError, digest, fingerprint
+from repro.pipeline.context import CompilerContext, PassTiming
+
+
+class PipelineError(ReproError):
+    """Bad pass graph: unknown input, duplicate name, or a cycle."""
+
+
+@dataclass(frozen=True, slots=True)
+class Pass:
+    """One named compilation stage."""
+
+    name: str
+    #: names of upstream passes whose artifacts this pass consumes
+    inputs: tuple[str, ...]
+    #: ``run(ctx, inputs) -> artifact`` where ``inputs`` maps name -> artifact
+    run: Callable[[CompilerContext, dict[str, Any]], Any]
+    #: context-config keys that change this pass's output
+    config_keys: tuple[str, ...] = ()
+    #: bump to invalidate previously cached artifacts of this pass
+    version: str = "1"
+
+
+@dataclass(slots=True)
+class PassManager:
+    """Registry + scheduler for the compilation passes."""
+
+    _passes: dict[str, Pass] = field(default_factory=dict)
+
+    def register(self, pass_: Pass) -> Pass:
+        if pass_.name in self._passes:
+            raise PipelineError(f"duplicate pass {pass_.name!r}")
+        self._passes[pass_.name] = pass_
+        return pass_
+
+    def get(self, name: str) -> Pass:
+        try:
+            return self._passes[name]
+        except KeyError:
+            raise PipelineError(f"unknown pass {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._passes)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def order(self, target: str | None = None) -> list[Pass]:
+        """Passes in dependency order; with ``target``, only its ancestors.
+
+        Kahn's algorithm with registration order as the tiebreak, so the
+        schedule is deterministic.  Raises :class:`PipelineError` on unknown
+        inputs or cycles.
+        """
+        for p in self._passes.values():
+            for dep in p.inputs:
+                if dep not in self._passes:
+                    raise PipelineError(f"pass {p.name!r} needs unknown input {dep!r}")
+
+        wanted: set[str] | None = None
+        if target is not None:
+            wanted = set()
+            stack = [self.get(target).name]
+            while stack:
+                name = stack.pop()
+                if name in wanted:
+                    continue
+                wanted.add(name)
+                stack.extend(self._passes[name].inputs)
+
+        names = [n for n in self._passes if wanted is None or n in wanted]
+        pending = {n: set(self._passes[n].inputs) & set(names) for n in names}
+        ordered: list[Pass] = []
+        while pending:
+            ready = [n for n, deps in pending.items() if not deps]
+            if not ready:
+                cycle = ", ".join(sorted(pending))
+                raise PipelineError(f"pass dependency cycle among: {cycle}")
+            name = ready[0]  # registration order: dict preserves insertion
+            del pending[name]
+            for deps in pending.values():
+                deps.discard(name)
+            ordered.append(self._passes[name])
+        return ordered
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, ctx: CompilerContext, target: str | None = None) -> dict[str, Any]:
+        """Run the pipeline (up to ``target``) over ``ctx``; returns artifacts.
+
+        With a store on the context, each pass first computes its content
+        key; a hit skips execution entirely.  An unfingerprintable config
+        value disables caching for this compilation (recorded on the
+        profile) rather than risking a stale hit.
+        """
+        schedule = self.order(target)
+        store = ctx.store
+        source_digest = digest(ctx.source, ctx.filename)
+        for pass_ in schedule:
+            key: str | None = None
+            if store is not None:
+                try:
+                    key = self._key_for(pass_, ctx, source_digest)
+                except FingerprintError as exc:
+                    store = None
+                    ctx.profile.cache_enabled = False
+                    ctx.profile.cache_disabled_reason = str(exc)
+            artifact, hit = (None, False)
+            t0 = time.perf_counter()
+            if key is not None:
+                artifact, hit = store.get(key)
+            if not hit:
+                inputs = {name: ctx.artifacts[name] for name in pass_.inputs}
+                artifact = pass_.run(ctx, inputs)
+                if key is not None:
+                    store.put(key, artifact)
+            elapsed = time.perf_counter() - t0
+            if store is not None and key is not None:
+                store.stats.record(pass_.name, hit)
+            if key is not None:
+                ctx.keys[pass_.name] = key
+            ctx.artifacts[pass_.name] = artifact
+            ctx.profile.timings.append(
+                PassTiming(name=pass_.name, seconds=elapsed, cache_hit=hit, key=key)
+            )
+        if store is None:
+            ctx.profile.cache_enabled = False
+            if not ctx.profile.cache_disabled_reason:
+                ctx.profile.cache_disabled_reason = "no artifact store"
+        return ctx.artifacts
+
+    def _key_for(self, pass_: Pass, ctx: CompilerContext, source_digest: str) -> str:
+        config_fp = ";".join(
+            f"{k}={fingerprint(ctx.config.get(k))}" for k in pass_.config_keys
+        )
+        upstream = [ctx.keys[name] for name in pass_.inputs]
+        return f"{pass_.name}:" + digest(
+            pass_.name, pass_.version, source_digest, config_fp, *upstream
+        )

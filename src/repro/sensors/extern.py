@@ -70,6 +70,16 @@ class ExternRegistry:
     def copy(self) -> "ExternRegistry":
         return ExternRegistry(dict(self._models))
 
+    def cache_fingerprint(self) -> str:
+        """Deterministic content identity for pipeline artifact caching.
+
+        ExternModel is a frozen dataclass with only scalar/tuple fields, so
+        its repr is a faithful content digest; sorting makes registration
+        order irrelevant.
+        """
+        body = ",".join(repr(self._models[name]) for name in sorted(self._models))
+        return f"ExternRegistry({body})"
+
 
 def _mpi_models() -> list[ExternModel]:
     """Default descriptions for the MPI subset the mini language exposes.

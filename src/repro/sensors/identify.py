@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.callgraph.graph import CallGraph, build_call_graph
+from repro.diagnostics import Diagnostic, ReasonCode, Span, note
 from repro.callgraph.preprocess import PreprocessResult, preprocess_call_graph
 from repro.frontend import ast_nodes as A
 from repro.ir.instructions import CallInstr
@@ -38,6 +39,26 @@ from repro.sensors.slicer import run_slice, workload_inputs
 from repro.sensors.summaries import SummaryTable, compute_summaries
 
 
+@dataclass(frozen=True, slots=True)
+class Rejection:
+    """One snippet that is not a v-sensor, and the structured reason why.
+
+    Iterable as ``(snippet, diagnostic)`` so explain-style consumers can
+    unpack it like the historical ``(snippet, reason-string)`` tuples.
+    """
+
+    snippet: Snippet
+    diagnostic: Diagnostic
+
+    def __iter__(self):
+        yield self.snippet
+        yield self.diagnostic
+
+    @property
+    def code(self) -> ReasonCode:
+        return self.diagnostic.code
+
+
 @dataclass(slots=True)
 class IdentificationResult:
     """Everything the static module learned about one program."""
@@ -49,9 +70,9 @@ class IdentificationResult:
     shapes: dict[str, FunctionShape]
     snippets: list[Snippet] = field(default_factory=list)
     sensors: list[VSensor] = field(default_factory=list)
-    #: snippets that are not sensors, with the first reasons the
-    #: dependency-propagation slice recorded ("explain" support)
-    rejections: list[tuple[Snippet, str]] = field(default_factory=list)
+    #: snippets that are not sensors, each with the first structured
+    #: diagnostic the dependency-propagation slice recorded ("explain")
+    rejections: list[Rejection] = field(default_factory=list)
 
     @property
     def snippet_count(self) -> int:
@@ -73,6 +94,10 @@ class IdentificationResult:
                 return s
         raise KeyError(sensor_id)
 
+    def diagnostics(self) -> list[Diagnostic]:
+        """All rejection diagnostics, in snippet-discovery order."""
+        return [r.diagnostic for r in self.rejections]
+
 
 class _Identifier:
     def __init__(
@@ -80,16 +105,27 @@ class _Identifier:
         ast_module: A.Module,
         externs: ExternRegistry,
         entry: str = "main",
+        *,
+        ir: IRModule | None = None,
+        callgraph: CallGraph | None = None,
+        preprocess: PreprocessResult | None = None,
+        summaries: SummaryTable | None = None,
+        shapes: dict[str, FunctionShape] | None = None,
     ) -> None:
+        """Precomputed artifacts (from the pass pipeline) may be injected;
+        anything not supplied is computed here, so the standalone
+        :func:`identify_vsensors` path needs no pipeline."""
         self.ast_module = ast_module
         self.entry = entry
-        self.ir = lower_module(ast_module)
-        self.cg = build_call_graph(self.ir)
-        self.prep = preprocess_call_graph(self.cg)
-        self.table = compute_summaries(self.ir, self.cg, self.prep, externs)
-        self.shapes = {
-            name: compute_shape(fn.ast) for name, fn in self.ir.functions.items() if fn.ast
-        }
+        self.ir = ir if ir is not None else lower_module(ast_module)
+        self.cg = callgraph if callgraph is not None else build_call_graph(self.ir)
+        self.prep = preprocess if preprocess is not None else preprocess_call_graph(self.cg)
+        self.table = (
+            summaries
+            if summaries is not None
+            else compute_summaries(self.ir, self.cg, self.prep, externs)
+        )
+        self.shapes = shapes if shapes is not None else compute_function_shapes(self.ir)
         self.global_names = set(self.ir.globals)
         #: memo for call-site promotion: (fn, params, globals) -> verdict
         self._promo_memo: dict[tuple[str, frozenset[str], frozenset[str]], tuple[bool, bool, bool]] = {}
@@ -114,7 +150,15 @@ class _Identifier:
             if name in never_fixed:
                 for snippet in snippets:
                     result.rejections.append(
-                        (snippet, "inside a recursive or address-taken function")
+                        Rejection(
+                            snippet,
+                            note(
+                                ReasonCode.RECURSIVE_FUNCTION,
+                                "inside a recursive or address-taken function",
+                                span=Span.from_node(snippet.node),
+                                origin="identify",
+                            ),
+                        )
                     )
                 continue  # candidates counted, but never sensors (§3.5)
             for snippet in snippets:
@@ -122,7 +166,9 @@ class _Identifier:
                 if sensor is not None:
                     result.sensors.append(sensor)
                 else:
-                    result.rejections.append((snippet, reason or "not fixed"))
+                    result.rejections.append(
+                        Rejection(snippet, _rejection_diag(snippet, reason))
+                    )
         return result
 
     def _enumerate_snippets(self, fname: str, shape: FunctionShape) -> list[Snippet]:
@@ -164,7 +210,7 @@ class _Identifier:
 
     def _analyze_snippet(
         self, fname: str, snippet: Snippet, shape: FunctionShape
-    ) -> tuple[VSensor | None, str | None]:
+    ) -> tuple[VSensor | None, Diagnostic | None]:
         fn = self.ir.functions[fname]
         sub_ids = self._snippet_subtree(snippet, shape)
         values, seed, callee_sites = workload_inputs(fn, sub_ids, self.table)
@@ -174,7 +220,7 @@ class _Identifier:
         # Maximal contiguous scope chain, innermost outward (§3.2, §4 Scope).
         scope_loops: list[A.Stmt] = []
         rank_dep = seed.rank
-        stop_reason: str | None = None
+        stop_reason: Diagnostic | None = None
         for loop in snippet.enclosing_loops:
             region = shape.loop_regions[loop.node_id]
             res = run_slice(
@@ -228,9 +274,12 @@ class _Identifier:
             is_global = False
 
         if not scope_loops and not is_global:
-            reason = (
+            reason = note(
+                ReasonCode.NOT_PROMOTABLE,
                 "fixed within its function but not promotable to global scope "
-                "(call sites vary its workload or it never repeats)"
+                "(call sites vary its workload or it never repeats)",
+                span=Span.from_node(snippet.node),
+                origin="identify",
             )
             if not entry.fixed:
                 reason = _first_reason(entry) or reason
@@ -385,8 +434,36 @@ class _Identifier:
         return SensorType.COMPUTATION
 
 
-def _first_reason(result: SliceResult) -> str | None:
+def _first_reason(result: SliceResult) -> Diagnostic | None:
     return result.reasons[0] if result.reasons else None
+
+
+def _rejection_diag(snippet: Snippet, reason: Diagnostic | None) -> Diagnostic:
+    """The rejection diagnostic for a snippet, defaulting the span to the
+    snippet itself when the slice recorded none."""
+    if reason is None:
+        return note(
+            ReasonCode.NOT_FIXED,
+            "workload not fixed across any enclosing loop",
+            span=Span.from_node(snippet.node),
+            origin="identify",
+        )
+    if reason.span.is_unknown:
+        return Diagnostic(
+            severity=reason.severity,
+            code=reason.code,
+            message=reason.message,
+            span=Span.from_node(snippet.node),
+            origin=reason.origin or "identify",
+        )
+    return reason
+
+
+def compute_function_shapes(ir: IRModule) -> dict[str, FunctionShape]:
+    """Per-function AST structure facts (the pipeline's ``cfa`` artifact)."""
+    return {
+        name: compute_shape(fn.ast) for name, fn in ir.functions.items() if fn.ast
+    }
 
 
 def _copy_seed(seed: SliceResult) -> SliceResult:
@@ -409,9 +486,32 @@ def identify_vsensors(
     identifier = _Identifier(ast_module, externs or default_extern_registry(), entry=entry)
     result = identifier.run()
     if static_rules:
-        kept = []
-        for sensor in result.sensors:
-            if all(rule.accepts(sensor, result.summaries) for rule in static_rules):
-                kept.append(sensor)
-        result.sensors = kept
+        apply_static_rules(result, static_rules)
+    return result
+
+
+def apply_static_rules(result: IdentificationResult, static_rules) -> IdentificationResult:
+    """Filter ``result.sensors`` through extra static rules (§3.1), recording
+    each veto as a rejection diagnostic (mutates ``result``)."""
+    kept = []
+    for sensor in result.sensors:
+        vetoed_by = next(
+            (r for r in static_rules if not r.accepts(sensor, result.summaries)), None
+        )
+        if vetoed_by is None:
+            kept.append(sensor)
+        else:
+            rule_name = getattr(vetoed_by, "name", type(vetoed_by).__name__)
+            result.rejections.append(
+                Rejection(
+                    sensor.snippet,
+                    note(
+                        ReasonCode.STATIC_RULE_VETO,
+                        f"vetoed by static rule {rule_name!r}",
+                        span=Span.from_node(sensor.snippet.node),
+                        origin="identify",
+                    ),
+                )
+            )
+    result.sensors = kept
     return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.diagnostics import Diagnostic, ReasonCode, Severity, Span
 from repro.frontend import ast_nodes as A
 from repro.frontend.location import SourceLoc
 
@@ -68,6 +69,10 @@ class SliceResult:
     ``rank`` — the workload depends on the process identity (§3.4).
     ``params``/``globals`` — function inputs the workload depends on; used
     by inter-procedural propagation (§3.3).
+
+    ``reasons`` holds structured :class:`~repro.diagnostics.Diagnostic`
+    entries (stable reason code + source span) for every disqualifying
+    finding, capped to the first 16.
     """
 
     variant: bool = False
@@ -75,7 +80,7 @@ class SliceResult:
     rank: bool = False
     params: set[str] = field(default_factory=set)
     globals: set[str] = field(default_factory=set)
-    reasons: list[str] = field(default_factory=list)
+    reasons: list[Diagnostic] = field(default_factory=list)
 
     @property
     def fixed(self) -> bool:
@@ -89,13 +94,30 @@ class SliceResult:
         self.globals |= other.globals
         self.reasons.extend(other.reasons)
 
-    def fail(self, reason: str, *, nonfixed: bool = False) -> None:
+    def fail(
+        self,
+        reason: str,
+        *,
+        code: ReasonCode | None = None,
+        span: Span | None = None,
+        nonfixed: bool = False,
+    ) -> None:
         if nonfixed:
             self.nonfixed = True
         else:
             self.variant = True
+        if code is None:
+            code = ReasonCode.NOT_FIXED if nonfixed else ReasonCode.VARIANT_INPUT
         if len(self.reasons) < 16:
-            self.reasons.append(reason)
+            self.reasons.append(
+                Diagnostic(
+                    severity=Severity.NOTE,
+                    code=code,
+                    message=reason,
+                    span=span if span is not None else Span(),
+                    origin="identify",
+                )
+            )
 
 
 @dataclass(eq=False, slots=True)

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.diagnostics import ReasonCode, Span
 from repro.dataflow.usedef import UseDefChains
 from repro.frontend import ast_nodes as A
 from repro.ir.function import IRFunction
@@ -146,7 +147,8 @@ class Slicer:
             # Array contents are not tracked: workload depending on data
             # values is never provably fixed (conservative, §3.5).
             self.result.fail(
-                f"array load {instr.arr}[] at {_loc(instr)}", nonfixed=True
+                f"array load {instr.arr}[] at {_loc(instr)}",
+                code=ReasonCode.ARRAY_LOAD, span=_span(instr), nonfixed=True,
             )
             return
         if isinstance(instr, CallInstr):
@@ -179,7 +181,10 @@ class Slicer:
         defs = self.ctx.chains.defs_for_load(load)
         if not defs:
             # No reaching definition: read of never-written storage.
-            self.result.fail(f"uninitialized read of {load.var} at {_loc(load)}", nonfixed=True)
+            self.result.fail(
+                f"uninitialized read of {load.var} at {_loc(load)}",
+                code=ReasonCode.UNINITIALIZED_READ, span=_span(load), nonfixed=True,
+            )
             return
 
         inside_region: list = []
@@ -205,7 +210,8 @@ class Slicer:
                 self.ctx, load
             ):
                 self.result.fail(
-                    f"{load.var} mixes pre-loop and in-loop definitions at {_loc(load)}"
+                    f"{load.var} mixes pre-loop and in-loop definitions at {_loc(load)}",
+                    code=ReasonCode.MIXED_DEFS, span=_span(load),
                 )
                 return
             # All in-region defs are the snippet's own writes, and the
@@ -213,7 +219,8 @@ class Slicer:
             # depends on cross-execution state (e.g. a counter that is not
             # re-initialized).  Variant.
             self.result.fail(
-                f"{load.var} carries state across snippet executions at {_loc(load)}"
+                f"{load.var} carries state across snippet executions at {_loc(load)}",
+                code=ReasonCode.CROSS_EXEC_STATE, span=_span(load),
             )
             return
 
@@ -237,7 +244,10 @@ class Slicer:
                 self.result.globals.add(var)
             else:
                 # An uninitialized local reaching from entry.
-                self.result.fail(f"uninitialized local {var} at {_loc(load)}", nonfixed=True)
+                self.result.fail(
+                    f"uninitialized local {var} at {_loc(load)}",
+                    code=ReasonCode.UNINITIALIZED_LOCAL, span=_span(load), nonfixed=True,
+                )
                 return
         if outside_defs and self.ctx.region_ids is not self.ctx.snippet_ids:
             # Per-loop check: a definition outside the region is a fixed
@@ -259,7 +269,10 @@ class Slicer:
             self.trace_value(instr.src)
             return
         if isinstance(instr, StoreElem):
-            self.result.fail(f"array store into {instr.arr} at {_loc(instr)}", nonfixed=True)
+            self.result.fail(
+                f"array store into {instr.arr} at {_loc(instr)}",
+                code=ReasonCode.ARRAY_STORE, span=_span(instr), nonfixed=True,
+            )
             return
         if isinstance(instr, CallInstr):
             # A call's side effect wrote this global: opaque value, but
@@ -275,7 +288,10 @@ class Slicer:
             self.trace_value(instr.src)
             return
         if isinstance(instr, StoreElem):
-            self.result.fail(f"array store into {instr.arr} at {_loc(instr)}", nonfixed=True)
+            self.result.fail(
+                f"array store into {instr.arr} at {_loc(instr)}",
+                code=ReasonCode.ARRAY_STORE, span=_span(instr), nonfixed=True,
+            )
             return
         if isinstance(instr, CallInstr):
             # A call inside the region may modify the variable: the value
@@ -285,11 +301,13 @@ class Slicer:
                 # whether that is fixed depends on the callee's stored value,
                 # which we do not track: non-fixed.
                 self.result.fail(
-                    f"{load.var} written by call {instr.callee} inside snippet", nonfixed=True
+                    f"{load.var} written by call {instr.callee} inside snippet",
+                    code=ReasonCode.SNIPPET_CALL_CLOBBERS, span=_span(instr), nonfixed=True,
                 )
             else:
                 self.result.fail(
-                    f"{load.var} may be modified by call {instr.callee} within the loop"
+                    f"{load.var} may be modified by call {instr.callee} within the loop",
+                    code=ReasonCode.CALL_CLOBBERS, span=_span(instr),
                 )
             return
         raise TypeError(f"memory defined by {type(instr).__name__}")
@@ -302,12 +320,18 @@ class Slicer:
 
     def _trace_call_return(self, instr: CallInstr) -> None:
         if instr.is_indirect:
-            self.result.fail(f"indirect call {instr.callee} at {_loc(instr)}", nonfixed=True)
+            self.result.fail(
+                f"indirect call {instr.callee} at {_loc(instr)}",
+                code=ReasonCode.INDIRECT_CALL, span=_span(instr), nonfixed=True,
+            )
             return
         summary = self.ctx.summaries.for_call(instr)
         if summary is None:
             # Undescribed extern: never fixed (§3.5 default policy).
-            self.result.fail(f"undescribed extern {instr.callee}", nonfixed=True)
+            self.result.fail(
+                f"undescribed extern {instr.callee}",
+                code=ReasonCode.UNDESCRIBED_EXTERN, span=_span(instr), nonfixed=True,
+            )
             return
         extern = self.ctx.summaries.extern_model(instr.callee)
         if extern is not None:
@@ -321,12 +345,18 @@ class Slicer:
                     self.trace_value(arg)
                 return
             if extern.ret == RET_NONFIXED:
-                self.result.fail(f"extern {instr.callee} returns unanalyzable value", nonfixed=True)
+                self.result.fail(
+                    f"extern {instr.callee} returns unanalyzable value",
+                    code=ReasonCode.EXTERN_NONFIXED_RETURN, span=_span(instr), nonfixed=True,
+                )
                 return
         # Defined function: substitute its return summary at this site.
         ret = summary.ret
         if summary.never_fixed or ret.nonfixed or ret.variant:
-            self.result.fail(f"call {instr.callee} returns non-fixed value", nonfixed=True)
+            self.result.fail(
+                f"call {instr.callee} returns non-fixed value",
+                code=ReasonCode.CALLEE_NONFIXED_RETURN, span=_span(instr), nonfixed=True,
+            )
             return
         if ret.rank:
             self.result.rank = True
@@ -348,9 +378,15 @@ class Slicer:
             if not all(_in_snippet(self.ctx, d.instr) for d in inside) or not _in_snippet(
                 self.ctx, instr
             ):
-                self.result.fail(f"global {gname} mixes definitions at call {instr.callee}")
+                self.result.fail(
+                    f"global {gname} mixes definitions at call {instr.callee}",
+                    code=ReasonCode.MIXED_DEFS, span=_span(instr),
+                )
                 return
-            self.result.fail(f"global {gname} carries state across snippet executions")
+            self.result.fail(
+                f"global {gname} carries state across snippet executions",
+                code=ReasonCode.CROSS_EXEC_STATE, span=_span(instr),
+            )
             return
         if not inside:
             self.result.globals.add(gname)
@@ -371,6 +407,11 @@ class Slicer:
 def _loc(instr: Instr) -> str:
     node = instr.ast_node
     return str(node.loc) if node is not None else "<?>"
+
+
+def _span(instr: Instr) -> Span:
+    node = instr.ast_node
+    return Span.from_loc(node.loc) if node is not None else Span()
 
 
 # ---------------------------------------------------------------------------
@@ -414,7 +455,10 @@ def _collect_call_inputs(
     callee_global_sites: list[tuple[CallInstr, set[str]]],
 ) -> None:
     if instr.is_indirect:
-        seed.fail(f"indirect call {instr.callee}", nonfixed=True)
+        seed.fail(
+            f"indirect call {instr.callee}",
+            code=ReasonCode.INDIRECT_CALL, span=_span(instr), nonfixed=True,
+        )
         return
     extern = summaries.extern_model(instr.callee)
     if extern is not None:
@@ -424,10 +468,16 @@ def _collect_call_inputs(
         return
     summary = summaries.for_call(instr)
     if summary is None:
-        seed.fail(f"undescribed extern {instr.callee}", nonfixed=True)
+        seed.fail(
+            f"undescribed extern {instr.callee}",
+            code=ReasonCode.UNDESCRIBED_EXTERN, span=_span(instr), nonfixed=True,
+        )
         return
     if summary.never_fixed or summary.workload.nonfixed:
-        seed.fail(f"call {instr.callee} has never-fixed workload", nonfixed=True)
+        seed.fail(
+            f"call {instr.callee} has never-fixed workload",
+            code=ReasonCode.CALLEE_NONFIXED_WORKLOAD, span=_span(instr), nonfixed=True,
+        )
         return
     if summary.workload.rank:
         seed.rank = True

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.callgraph.graph import CallGraph
 from repro.callgraph.preprocess import PreprocessResult
 from repro.dataflow.usedef import UseDefChains, build_use_def_chains
+from repro.diagnostics import ReasonCode
 from repro.ir.function import IRFunction
 from repro.ir.instructions import CallInstr, Ret, Store
 from repro.ir.irmodule import IRModule
@@ -119,8 +120,14 @@ def compute_summaries(
         summary = table.summaries[name]
         if name in never_fixed:
             summary.never_fixed = True
-            summary.workload.fail("recursive or address-taken function", nonfixed=True)
-            summary.ret.fail("recursive or address-taken function", nonfixed=True)
+            summary.workload.fail(
+                "recursive or address-taken function",
+                code=ReasonCode.RECURSIVE_FUNCTION, nonfixed=True,
+            )
+            summary.ret.fail(
+                "recursive or address-taken function",
+                code=ReasonCode.RECURSIVE_FUNCTION, nonfixed=True,
+            )
             continue
         _summarize_workload(table, fn, summary)
         _summarize_return(table, fn, summary)

@@ -1,0 +1,161 @@
+"""PassManager scheduling, timing, and content-keyed caching."""
+
+import pytest
+
+from repro.pipeline import (
+    ArtifactStore,
+    CompilerContext,
+    Pass,
+    PassManager,
+    PipelineError,
+)
+
+
+def ctx(source="src", **kw):
+    return CompilerContext(source=source, **kw)
+
+
+def counting(value=None):
+    """A pass body that counts invocations (for cache-hit assertions)."""
+    calls = []
+
+    def run(ctx_, inputs):
+        calls.append(dict(inputs))
+        return value if value is not None else f"ran{len(calls)}"
+
+    run.calls = calls
+    return run
+
+
+def diamond_manager(bodies=None):
+    bodies = bodies or {}
+    mgr = PassManager()
+    mgr.register(Pass(name="a", inputs=(), run=bodies.get("a", counting("A"))))
+    mgr.register(Pass(name="b", inputs=("a",), run=bodies.get("b", counting("B"))))
+    mgr.register(Pass(name="c", inputs=("a",), run=bodies.get("c", counting("C"))))
+    mgr.register(
+        Pass(name="d", inputs=("b", "c"), run=bodies.get("d", counting("D")))
+    )
+    return mgr
+
+
+class TestOrdering:
+    def test_linear_order(self):
+        mgr = PassManager()
+        mgr.register(Pass(name="one", inputs=(), run=counting()))
+        mgr.register(Pass(name="two", inputs=("one",), run=counting()))
+        assert [p.name for p in mgr.order()] == ["one", "two"]
+
+    def test_diamond_order_respects_registration_tiebreak(self):
+        assert [p.name for p in diamond_manager().order()] == ["a", "b", "c", "d"]
+
+    def test_target_runs_only_ancestors(self):
+        assert [p.name for p in diamond_manager().order("b")] == ["a", "b"]
+
+    def test_unknown_input_rejected(self):
+        mgr = PassManager()
+        mgr.register(Pass(name="p", inputs=("ghost",), run=counting()))
+        with pytest.raises(PipelineError, match="unknown input"):
+            mgr.order()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(PipelineError, match="unknown pass"):
+            diamond_manager().order("ghost")
+
+    def test_duplicate_registration_rejected(self):
+        mgr = PassManager()
+        mgr.register(Pass(name="p", inputs=(), run=counting()))
+        with pytest.raises(PipelineError, match="duplicate"):
+            mgr.register(Pass(name="p", inputs=(), run=counting()))
+
+    def test_cycle_detected(self):
+        mgr = PassManager()
+        mgr.register(Pass(name="x", inputs=("y",), run=counting()))
+        mgr.register(Pass(name="y", inputs=("x",), run=counting()))
+        with pytest.raises(PipelineError, match="cycle"):
+            mgr.order()
+
+
+class TestExecution:
+    def test_artifacts_and_inputs_flow(self):
+        mgr = diamond_manager()
+        c = ctx()
+        mgr.run(c)
+        assert c.artifact("d") == "D"
+        d_inputs = mgr.get("d").run.calls[0]
+        assert d_inputs == {"b": "B", "c": "C"}
+
+    def test_every_pass_timed(self):
+        c = ctx()
+        diamond_manager().run(c)
+        assert [t.name for t in c.profile.timings] == ["a", "b", "c", "d"]
+        assert all(t.seconds >= 0 for t in c.profile.timings)
+
+    def test_no_store_marks_cache_disabled(self):
+        c = ctx()
+        diamond_manager().run(c)
+        assert not c.profile.cache_enabled
+        assert c.profile.cache_disabled_reason == "no artifact store"
+
+
+class TestCaching:
+    def test_second_run_hits_without_reexecuting(self):
+        mgr = diamond_manager()
+        store = ArtifactStore()
+        mgr.run(ctx(store=store))
+        warm = ctx(store=store)
+        mgr.run(warm)
+        assert warm.profile.hits == 4 and warm.profile.misses == 0
+        for name in "abcd":
+            assert len(mgr.get(name).run.calls) == 1
+
+    def test_source_change_misses_everything(self):
+        mgr = diamond_manager()
+        store = ArtifactStore()
+        mgr.run(ctx(store=store))
+        other = ctx(source="other", store=store)
+        mgr.run(other)
+        assert other.profile.misses == 4
+
+    def test_config_key_change_invalidates_pass_and_descendants_only(self):
+        mgr = PassManager()
+        mgr.register(Pass(name="a", inputs=(), run=counting("A")))
+        mgr.register(
+            Pass(name="b", inputs=("a",), run=counting("B"), config_keys=("knob",))
+        )
+        mgr.register(Pass(name="c", inputs=("b",), run=counting("C")))
+        store = ArtifactStore()
+        mgr.run(ctx(store=store, config={"knob": 1}))
+        turned = ctx(store=store, config={"knob": 2})
+        mgr.run(turned)
+        outcome = {t.name: t.cache_hit for t in turned.profile.timings}
+        assert outcome == {"a": True, "b": False, "c": False}
+
+    def test_unfingerprintable_config_disables_cache(self):
+        class Opaque:
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = 1
+
+        mgr = PassManager()
+        mgr.register(
+            Pass(name="p", inputs=(), run=counting(), config_keys=("opaque",))
+        )
+        store = ArtifactStore()
+        c = ctx(store=store, config={"opaque": Opaque()})
+        mgr.run(c)
+        assert not c.profile.cache_enabled
+        assert "fingerprint" in c.profile.cache_disabled_reason
+        assert len(store) == 0  # nothing was cached under a guessed key
+
+    def test_targeted_invalidation_recomputes_only_that_pass(self):
+        mgr = diamond_manager()
+        store = ArtifactStore()
+        mgr.run(ctx(store=store))
+        store.invalidate_pass("b")
+        third = ctx(store=store)
+        mgr.run(third)
+        outcome = {t.name: t.cache_hit for t in third.profile.timings}
+        # b recomputes, but its key (hence d's key) is unchanged: d still hits.
+        assert outcome == {"a": True, "b": False, "c": True, "d": True}

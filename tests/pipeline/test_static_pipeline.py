@@ -1,0 +1,143 @@
+"""The seven-pass static pipeline: caching, determinism, bit-identical output."""
+
+from repro.api import compile_and_instrument
+from repro.diagnostics import ReasonCode
+from repro.frontend.parser import parse_source
+from repro.frontend import ast_nodes as A
+from repro.instrument.annotations import Annotations, SnippetRef
+from repro.pipeline import ArtifactStore, CompilerContext, static_pass_manager
+from repro.workloads import get_workload
+
+SOURCE = get_workload("CG").source(scale=1)
+
+
+def compile_with(store, source=SOURCE, **config):
+    ctx = CompilerContext(source=source, filename="CG", config=config, store=store)
+    static_pass_manager().run(ctx)
+    return ctx
+
+
+def all_node_ids(module):
+    ids = [module.node_id]
+    for fn in module.functions:
+        ids.append(fn.node_id)
+        ids.extend(p.node_id for p in fn.params)
+        if fn.body is not None:
+            for stmt in A.walk_stmts(fn.body):
+                ids.append(stmt.node_id)
+                ids.extend(e.node_id for e in A.walk_exprs(stmt))
+    for g in module.globals:
+        ids.append(g.node_id)
+    return sorted(ids)
+
+
+class TestCaching:
+    def test_cold_then_warm(self):
+        store = ArtifactStore()
+        cold = compile_with(store)
+        warm = compile_with(store)
+        assert cold.profile.misses == 7 and cold.profile.hits == 0
+        assert warm.profile.hits == 7 and warm.profile.misses == 0
+
+    def test_warm_output_bit_identical_to_uncached(self):
+        store = ArtifactStore()
+        compile_with(store)
+        warm = compile_with(store)
+        fresh = compile_with(None)
+        warm_prog = warm.artifact("instrument")
+        fresh_prog = fresh.artifact("instrument")
+        assert warm_prog.source == fresh_prog.source
+        assert sorted(warm_prog.sensors) == sorted(fresh_prog.sensors)
+
+    def test_max_depth_change_recomputes_select_and_instrument_only(self):
+        store = ArtifactStore()
+        compile_with(store, max_depth=3)
+        turned = compile_with(store, max_depth=1)
+        outcome = {t.name: t.cache_hit for t in turned.profile.timings}
+        assert outcome == {
+            "parse": True,
+            "lower": True,
+            "cfa": True,
+            "dataflow": True,
+            "identify": True,
+            "select": False,
+            "instrument": False,
+        }
+
+    def test_mid_pipeline_invalidation_keeps_downstream_hits(self):
+        store = ArtifactStore()
+        before = compile_with(store)
+        store.invalidate_pass("dataflow")
+        after = compile_with(store)
+        outcome = {t.name: t.cache_hit for t in after.profile.timings}
+        # dataflow recomputes; its key is unchanged, so downstream still hits
+        assert outcome == {
+            "parse": True,
+            "lower": True,
+            "cfa": True,
+            "dataflow": False,
+            "identify": True,
+            "select": True,
+            "instrument": True,
+        }
+        assert (
+            after.artifact("instrument").source
+            == before.artifact("instrument").source
+        )
+
+
+class TestDeterminism:
+    def test_node_ids_deterministic_across_parses(self):
+        first = parse_source(SOURCE, filename="CG")
+        second = parse_source(SOURCE, filename="CG")
+        assert all_node_ids(first) == all_node_ids(second)
+        assert min(all_node_ids(first)) == 1
+
+    def test_instrumented_copy_leaves_parse_artifact_pristine(self):
+        store = ArtifactStore()
+        ctx = compile_with(store)
+        parsed = ctx.artifact("parse")
+        instrumented = ctx.artifact("instrument").module
+        assert instrumented is not parsed
+        from repro.frontend.pretty import format_module
+
+        assert "vs_tick" in format_module(instrumented)
+        assert "vs_tick" not in format_module(parsed)
+
+
+class TestApiIntegration:
+    def test_default_store_shares_across_calls(self):
+        first = compile_and_instrument(SOURCE, filename="CG-api-share")
+        second = compile_and_instrument(SOURCE, filename="CG-api-share")
+        assert second.profile.hits == 7
+        assert first.source == second.source
+
+    def test_store_none_disables_cache(self):
+        static = compile_and_instrument(SOURCE, store=None)
+        assert not static.profile.cache_enabled
+        assert static.profile.misses == 7
+
+    def test_diagnostics_aggregated_with_provenance(self):
+        static = compile_and_instrument(SOURCE, store=None)
+        origins = {d.origin for d in static.diagnostics}
+        assert "identify" in origins and "select" in origins
+        assert all(isinstance(d.code, ReasonCode) for d in static.diagnostics)
+
+    def test_annotation_exclusion_does_not_mutate_cached_identify(self):
+        store = ArtifactStore()
+        plain = compile_and_instrument(SOURCE, filename="CG-ann", store=store)
+        target = plain.identification.sensors[0]
+        excluded = compile_and_instrument(
+            SOURCE,
+            filename="CG-ann",
+            store=store,
+            annotations=Annotations(
+                exclude=[SnippetRef(function=target.function, line=target.loc.line)]
+            ),
+        )
+        assert ReasonCode.ANNOTATION_EXCLUDED in {
+            d.code for d in excluded.plan.diagnostics
+        }
+        # identify was a cache hit and its sensor list must be intact
+        again = compile_and_instrument(SOURCE, filename="CG-ann", store=store)
+        assert len(again.identification.sensors) == len(plain.identification.sensors)

@@ -1,12 +1,17 @@
-"""Rejection-reason ("explain") tests."""
+"""Rejection-diagnostic ("explain") tests.
 
+Every rejected snippet carries a structured Diagnostic: a stable reason
+code, a source span, and the identify-pass provenance.
+"""
+
+from repro.diagnostics import ReasonCode, Severity
 from repro.frontend.parser import parse_source
 from repro.sensors import identify_vsensors
 
 
 def rejections_of(src):
     result = identify_vsensors(parse_source(src))
-    return {(s.function, s.loc.line): reason for s, reason in result.rejections}
+    return {(s.function, s.loc.line): diag for s, diag in result.rejections}
 
 
 def test_variant_loop_has_reason():
@@ -20,9 +25,9 @@ def test_variant_loop_has_reason():
         return 0;
     }
     """
-    reasons = rejections_of(src)
-    reason = reasons[("main", 6)]
-    assert "n" in reason  # names the varying variable
+    diag = rejections_of(src)[("main", 6)]
+    assert "n" in diag.message  # names the varying variable
+    assert diag.code in (ReasonCode.VARIANT_INPUT, ReasonCode.MIXED_DEFS)
 
 
 def test_array_load_reason():
@@ -37,8 +42,9 @@ def test_array_load_reason():
         return 0;
     }
     """
-    reasons = rejections_of(src)
-    assert "array load sizes[]" in reasons[("main", 7)]
+    diag = rejections_of(src)[("main", 7)]
+    assert "array load sizes[]" in diag.message
+    assert diag.code is ReasonCode.ARRAY_LOAD
 
 
 def test_undescribed_extern_reason():
@@ -49,8 +55,9 @@ def test_undescribed_extern_reason():
         return 0;
     }
     """
-    reasons = rejections_of(src)
-    assert any("undescribed extern" in r for r in reasons.values())
+    diags = rejections_of(src).values()
+    assert any(d.code is ReasonCode.UNDESCRIBED_EXTERN for d in diags)
+    assert any("undescribed extern" in d.message for d in diags)
 
 
 def test_recursive_function_reason():
@@ -64,8 +71,8 @@ def test_recursive_function_reason():
     }
     int main() { f(3); return 0; }
     """
-    reasons = rejections_of(src)
-    assert any("recursive" in r for r in reasons.values())
+    diags = rejections_of(src).values()
+    assert any(d.code is ReasonCode.RECURSIVE_FUNCTION for d in diags)
 
 
 def test_sensors_not_in_rejections(paper_module):
@@ -78,3 +85,44 @@ def test_sensors_not_in_rejections(paper_module):
 def test_every_snippet_accounted_for(paper_module):
     result = identify_vsensors(paper_module)
     assert len(result.sensors) + len(result.rejections) == len(result.snippets)
+
+
+def test_every_rejection_has_stable_code_and_span(paper_module):
+    """The satellite guarantee: all rejections are machine-consumable."""
+    result = identify_vsensors(paper_module)
+    assert result.rejections
+    for rejection in result.rejections:
+        diag = rejection.diagnostic
+        assert isinstance(diag.code, ReasonCode)
+        assert diag.severity is Severity.NOTE
+        assert diag.origin == "identify"
+        assert not diag.span.is_unknown, diag
+        assert diag.span.end_line >= diag.span.line
+        # the span points into the snippet's source file (the disqualifying
+        # definition may sit outside the snippet itself, on its use-def chain)
+        assert diag.span.filename == rejection.snippet.loc.filename
+
+
+def test_rejection_unpacks_as_pair(paper_module):
+    result = identify_vsensors(paper_module)
+    snippet, diag = result.rejections[0]
+    assert snippet is result.rejections[0].snippet
+    assert diag is result.rejections[0].diagnostic
+
+
+def test_diagnostic_format_roundtrips_location():
+    src = """
+    global int sizes[4];
+    global int c = 0;
+    int main() {
+        int n; int k;
+        for (n = 0; n < 10; n = n + 1) {
+            for (k = 0; k < sizes[0]; k = k + 1) c = c + 1;
+        }
+        return 0;
+    }
+    """
+    result = identify_vsensors(parse_source(src, filename="prog.vsn"))
+    lines = [r.diagnostic.format() for r in result.rejections]
+    assert any(line.startswith("prog.vsn:") for line in lines)
+    assert any("[array-load]" in line for line in lines)

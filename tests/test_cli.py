@@ -142,3 +142,54 @@ class TestCommands:
 
     def test_no_program_no_workload(self, capsys):
         assert main(["identify"]) == 2
+
+
+class TestPipelineFlags:
+    """--explain structured output, --profile-passes, --no-cache."""
+
+    def test_explain_prints_codes_and_spans(self, capsys):
+        assert main(["identify", "--workload", "CG", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "rejected snippets (identify):" in out
+        assert "note[" in out and "(identify)" in out
+        assert "CG:" in out  # source spans carry the filename
+
+    def test_explain_matches_structured_rejections(self, capsys):
+        from repro.api import compile_and_instrument
+        from repro.workloads import get_workload
+
+        static = compile_and_instrument(
+            get_workload("CG").source(scale=1), filename="CG"
+        )
+        assert main(["identify", "--workload", "CG", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for rejection in static.identification.rejections:
+            diag = rejection.diagnostic
+            assert f"[{diag.code.value}]" in out
+            assert f"CG:{diag.span.line}:" in out
+
+    def test_profile_passes_table(self, capsys):
+        assert main(["identify", "--workload", "CG", "--profile-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "per-pass profile:" in out
+        for name in ("parse", "lower", "cfa", "dataflow", "identify", "select",
+                     "instrument", "total"):
+            assert name in out
+
+    def test_no_cache_disables_store(self, capsys):
+        assert main(
+            ["identify", "--workload", "CG", "--no-cache", "--profile-passes"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache disabled" in out
+
+    def test_run_profile_passes(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--ranks", "4", "--ranks-per-node", "2",
+             "--profile-passes"]
+        ) == 0
+        assert "per-pass profile:" in capsys.readouterr().out
+
+    def test_instrument_profile_passes(self, program_file, capsys):
+        assert main(["instrument", program_file, "--profile-passes"]) == 0
+        assert "per-pass profile:" in capsys.readouterr().out
