@@ -13,11 +13,12 @@ other's warm-up.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
+
+from benchmarks.conftest import write_payload
 
 from repro.api import run_uninstrumented, run_vsensor
 from repro.sim import noise
@@ -85,9 +86,7 @@ def test_interp_tier_trajectory():
         "results": rows,
         "speedups": speedups,
     }
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_payload(JSON_PATH, payload)
 
     print(f"\n{'config':<28s} {'ast':>8s} {'bytecode':>9s} {'speedup':>8s}")
     for key, speedup in speedups.items():

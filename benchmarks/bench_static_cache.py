@@ -14,11 +14,12 @@ and every downstream stage still hits because keys derive from content).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
+
+from benchmarks.conftest import write_payload
 
 from repro.api import compile_and_instrument
 from repro.pipeline import ArtifactStore
@@ -100,9 +101,7 @@ def test_static_cache_trajectory():
             "speedup": round(aggregate, 2),
         },
     }
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_payload(JSON_PATH, payload)
 
     print(f"\n{'workload':<10s} {'cold (ms)':>10s} {'warm (ms)':>10s} {'speedup':>8s}")
     for row in rows:

@@ -17,10 +17,11 @@ enabled throughout.  Two curves are recorded to ``BENCH_transport.json``:
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
+
+from benchmarks.conftest import write_payload
 
 from repro.api import run_vsensor
 from repro.runtime.quality import score_detection
@@ -87,9 +88,7 @@ def test_transport_loss_sweep(out_dir):
         "channel": "dup=0.1 reorder=0.2, drop swept; seeded deterministic",
         "results": rows,
     }
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_payload(JSON_PATH, payload)
 
     print(f"\n{'mode':<9s} {'drop':>5s} {'F':>6s} {'cover':>6s} {'degr':>5s} "
           f"{'sent':>5s} {'retried':>8s}")

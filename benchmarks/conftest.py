@@ -9,12 +9,39 @@ reports, writes figure data under ``out/``, and asserts the paper's
 
 from __future__ import annotations
 
+import json
 import os
+import random
 import sys
 
 import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "out")
+
+#: every bench run is reproducible; override with BENCH_SEED=<int>
+BENCH_SEED = int(os.environ.get("BENCH_SEED", "20180224"))
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Pin both global RNGs before every bench, so scenario order can't
+    change results (simulator seeds are explicit, but machine-noise and
+    ad-hoc sampling fall back on the globals)."""
+    random.seed(BENCH_SEED)
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        pass
+    else:
+        np.random.seed(BENCH_SEED)
+
+
+def write_payload(path: str, payload: dict) -> None:
+    """Write a figure/table payload with sorted keys and a stable layout,
+    so the JSON on disk never depends on dict insertion order."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

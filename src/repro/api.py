@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 from repro.diagnostics import Diagnostic
 from repro.frontend import Module, parse_source
 from repro.instrument import InstrumentationPlan, InstrumentedProgram
+from repro.obs import NULL_OBS, Obs
 from repro.pipeline import (
     ArtifactStore,
     CompilerContext,
@@ -76,6 +77,7 @@ def compile_and_instrument(
     min_estimated_work: float = 0.0,
     annotations=None,
     store: ArtifactStore | None | object = _DEFAULT_STORE,
+    obs: Obs | None = None,
 ) -> StaticResult:
     """Run the static module on program text.
 
@@ -89,9 +91,14 @@ def compile_and_instrument(
     store (so recompiling unchanged text is nearly free), an explicit
     :class:`~repro.pipeline.ArtifactStore` for scoped/on-disk caching, or
     ``None`` to disable caching for this call.
+
+    ``obs`` attaches an observability bundle (:mod:`repro.obs`): per-pass
+    spans and cache counters are emitted into it.  The default is the
+    no-op bundle; enabling it never changes outputs or cache keys.
     """
     if store is _DEFAULT_STORE:
         store = default_store()
+    obs = obs or NULL_OBS
     ctx = CompilerContext(
         source=source,
         filename=filename,
@@ -103,8 +110,10 @@ def compile_and_instrument(
             "annotations": annotations,
         },
         store=store,  # type: ignore[arg-type]
+        obs=obs,
     )
-    static_pass_manager().run(ctx)
+    with obs.tracer.span("vsensor.compile"):
+        static_pass_manager().run(ctx)
     selection = ctx.artifact("select")
     program: InstrumentedProgram = ctx.artifact("instrument")
     identification: IdentificationResult = selection.identification
@@ -140,6 +149,7 @@ def run_vsensor(
     channel=None,
     retry_policy=None,
     store: ArtifactStore | None | object = _DEFAULT_STORE,
+    obs: Obs | None = None,
 ) -> VSensorRun:
     """Compile, instrument, simulate and analyze one program.
 
@@ -158,23 +168,33 @@ def run_vsensor(
     report fields expose the delivery counters.
 
     ``store`` is forwarded to :func:`compile_and_instrument`.
+
+    ``obs`` attaches an observability bundle (:mod:`repro.obs`): compile /
+    simulate / analyze phase spans, per-rank virtual-time spans, and
+    record / retry / dedup counters across the runtime.  The default is
+    the no-op bundle; an enabled bundle never changes the report, the
+    matrices, or any cached artifact (the golden suite asserts this).
     """
     from repro.runtime.channel import ChannelConfig, LossyChannel
     from repro.runtime.server import AnalysisServer
     from repro.runtime.transport import ReliableTransport, RetryPolicy
     from repro.sim.hooks import TeeHooks
 
+    obs = obs or NULL_OBS
+    metrics = obs.metrics if obs.enabled else None
     static = compile_and_instrument(
         source,
         max_depth=max_depth,
         externs=externs,
         static_rules=static_rules,
         store=store,
+        obs=obs,
     )
     server = AnalysisServer(
         n_ranks=machine.n_ranks,
         window_us=window_us,
         batch_period_us=batch_period_us,
+        metrics=metrics,
     )
     runtime = VSensorRuntime(
         sensors=static.program.sensors,
@@ -182,6 +202,7 @@ def run_vsensor(
         config=detector or DetectorConfig(),
         rule=rule or NoGrouping(),
         server=server,
+        obs=obs,
     )
     transport = None
     if channel is not None:
@@ -190,25 +211,31 @@ def run_vsensor(
         if isinstance(channel, ChannelConfig):
             channel = LossyChannel(config=channel)
         transport = ReliableTransport(
-            server=server, channel=channel, policy=retry_policy or RetryPolicy()
+            server=server,
+            channel=channel,
+            policy=retry_policy or RetryPolicy(),
+            metrics=metrics,
         )
         runtime.server = transport  # type: ignore[assignment]
     runtime.live = live
     hooks = TeeHooks(runtime, *extra_hooks) if extra_hooks else runtime
-    sim = Simulator(
-        static.program.module,
-        machine,
-        faults=tuple(faults),
-        sensors=static.program.sensors,
-        externs=externs,
-        engine=engine,
-    ).run(hooks)
+    with obs.tracer.span("vsensor.simulate", engine=engine):
+        sim = Simulator(
+            static.program.module,
+            machine,
+            faults=tuple(faults),
+            sensors=static.program.sensors,
+            externs=externs,
+            engine=engine,
+            obs=obs,
+        ).run(hooks)
     run = VSensorRun(static=static, sim=sim, runtime=runtime)
-    if transport is not None:
-        transport.finish()
-        runtime.server = server
-        run.channel_stats = transport.channel.stats.as_dict()
-    run.report = runtime.report(sim.total_time)
+    with obs.tracer.span("vsensor.analyze"):
+        if transport is not None:
+            transport.finish()
+            runtime.server = server
+            run.channel_stats = transport.channel.stats.as_dict()
+        run.report = runtime.report(sim.total_time)
     if run.channel_stats is not None:
         run.report.channel_stats = dict(run.channel_stats)
     return run

@@ -140,6 +140,8 @@ def cmd_instrument(args) -> int:
 
 
 def cmd_run(args) -> int:
+    import time
+
     source = _load_source(args)
     machine = MachineConfig(
         n_ranks=args.ranks,
@@ -147,12 +149,18 @@ def cmd_run(args) -> int:
         seed=args.seed,
     )
     faults = [parse_fault(spec) for spec in args.fault or []]
+    obs = None
+    if args.trace_out or args.metrics_out or args.obs_summary:
+        from repro.obs import Obs
+
+        obs = Obs.create()
     profiler = None
     if args.profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
+    wall_t0 = time.perf_counter()
     run = run_vsensor(
         source,
         machine,
@@ -160,8 +168,10 @@ def cmd_run(args) -> int:
         window_us=args.window_ms * 1000.0,
         engine=args.engine,
         channel=args.channel,
+        obs=obs,
         **_compile_kwargs(args),
     )
+    wall_s = time.perf_counter() - wall_t0
     if profiler is not None:
         import io
         import pstats
@@ -178,6 +188,24 @@ def cmd_run(args) -> int:
     print(f"total time   : {run.sim.total_time / 1e3:.2f} ms")
     if args.profile_passes:
         _print_pass_profile(run.static)
+    if obs is not None:
+        from repro.obs import flame_summary, write_chrome_trace, write_metrics
+
+        if args.trace_out:
+            write_chrome_trace(obs.tracer, args.trace_out)
+            print(f"trace written to {args.trace_out} (chrome://tracing / Perfetto)")
+        if args.metrics_out:
+            write_metrics(obs.metrics, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.obs_summary:
+            report = obs.overhead_report(wall_s)
+            print()
+            print(flame_summary(obs.tracer))
+            print(
+                f"observability self-cost: {report['overhead_fraction']:.3%} of "
+                f"{wall_s * 1e3:.1f} ms wall "
+                f"({report['spans']} spans, {report['metric_ops']} metric ops)"
+            )
     print(run.report.summary())
     for sensor_type in SensorType:
         matrix = run.report.matrices.get(sensor_type)
@@ -266,6 +294,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="profile the simulation with cProfile and write out/profile.txt",
+    )
+    p_run.add_argument(
+        "--trace-out",
+        help="write a Chrome trace_event JSON of the run's internal spans "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    p_run.add_argument(
+        "--metrics-out",
+        help="write the run's internal counters/gauges/histograms as JSON",
+    )
+    p_run.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print a flame summary of internal spans and the observability "
+        "self-overhead as a fraction of wall time",
     )
     p_run.set_defaults(func=cmd_run)
 

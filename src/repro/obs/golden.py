@@ -1,0 +1,87 @@
+"""Canonical (golden-comparable) views of a trace and a metrics registry.
+
+Golden-trace regression tests must compare *structure and counts*, never
+wall time: the span tree, names, tracks, discrete attributes, counter
+values and histogram bucket counts are exact run-to-run under fixed
+seeds, while timestamps and durations vary with the host.  The
+canonical form therefore scrubs every time-like value:
+
+* span timestamps and durations are dropped entirely;
+* span attributes are dropped when the key has a time-ish suffix
+  (``_us``/``_ms``/``_s``/``_seconds``) or the value is a float;
+* gauges with time-ish names and histogram ``sum`` fields are dropped
+  (bucket *counts* stay — virtual-time observations are deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+_TIME_SUFFIXES = ("_us", "_ms", "_s", "_seconds")
+
+
+def _scrub_attrs(attrs: dict[str, Any] | None) -> dict[str, Any]:
+    if not attrs:
+        return {}
+    out = {}
+    for key in sorted(attrs):
+        value = attrs[key]
+        if key.endswith(_TIME_SUFFIXES) or isinstance(value, float):
+            continue
+        out[key] = value
+    return out
+
+
+def canonical_span_tree(tracer: Tracer) -> list[dict]:
+    """The trace as nested ``{name, track, attrs, children}`` nodes.
+
+    Children appear in span-start (seq) order; roots likewise.  Open spans
+    are absent by construction (only completed spans reach the buffer).
+    """
+    records = sorted(tracer.records(), key=lambda r: r.seq)
+    present = {r.seq for r in records}
+    children: dict[int, list] = {}
+    for record in records:
+        parent = record.parent if record.parent in present else -1
+        children.setdefault(parent, []).append(record)
+
+    def node(record) -> dict:
+        out: dict[str, Any] = {"name": record.name, "track": record.track}
+        attrs = _scrub_attrs(record.attrs)
+        if attrs:
+            out["attrs"] = attrs
+        kids = children.get(record.seq)
+        if kids:
+            out["children"] = [node(k) for k in kids]
+        return out
+
+    return [node(r) for r in children.get(-1, [])]
+
+
+def canonical_metrics(registry: MetricsRegistry) -> dict:
+    """Counters, count-only histograms, and non-time gauges, sorted."""
+    doc = registry.as_dict()
+    histograms = {
+        name: {"edges": h["edges"], "counts": h["counts"], "total": h["total"]}
+        for name, h in doc["histograms"].items()
+    }
+    gauges = {
+        name: value
+        for name, value in doc["gauges"].items()
+        if not name.endswith(_TIME_SUFFIXES) and not isinstance(value, float)
+    }
+    out: dict[str, Any] = {"counters": doc["counters"], "histograms": histograms}
+    if gauges:
+        out["gauges"] = gauges
+    return out
+
+
+def canonical_obs(obs) -> dict:
+    """One golden-comparable document for a whole observed run."""
+    return {
+        "trace": canonical_span_tree(obs.tracer),
+        "metrics": canonical_metrics(obs.metrics),
+    }

@@ -1,0 +1,52 @@
+"""Fixed-capacity ring buffer for completed span records.
+
+The tracer appends every completed span here; when the buffer is full the
+oldest record is overwritten (and counted) rather than growing without
+bound — a long run keeps its *recent* trace, exactly like a flight
+recorder.  Iteration yields surviving records oldest-first.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Append-only overwrite-oldest buffer."""
+
+    __slots__ = ("capacity", "dropped", "_items", "_start")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: records overwritten because the buffer was full
+        self.dropped = 0
+        self._items: list[T] = []
+        self._start = 0  # index of the oldest record once wrapped
+
+    def append(self, item: T) -> None:
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        self._items[self._start] = item
+        self._start = (self._start + 1) % self.capacity
+        self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        items, start = self._items, self._start
+        for i in range(len(items)):
+            yield items[(start + i) % len(items)]
+
+    def to_list(self) -> list[T]:
+        return list(self)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._start = 0
+        self.dropped = 0

@@ -1,0 +1,270 @@
+"""Structured tracer: nested spans over a flight-recorder ring buffer.
+
+Spans are timestamped in **microseconds** on whichever clock the tracer is
+given — the default is the monotonic wall clock (``time.perf_counter``),
+and the simulator contributes *virtual*-time spans on a separate track, so
+one trace carries both "what did the tool cost" and "what did the
+simulated cluster do".  Completed spans land in a
+:class:`~repro.obs.ring.RingBuffer`; exporters (:mod:`repro.obs.export`)
+turn the buffer into Chrome ``trace_event`` JSON or a flame summary.
+
+Well-formedness is enforced, not hoped for: exiting with no open span or
+exiting a span that is not the innermost open one raises
+:class:`TraceError`, and an exit timestamp is clamped to its enter so
+``exit >= enter`` holds even under a misbehaving injected clock.  The
+hypothesis suite in ``tests/obs`` pins these guarantees.
+
+Every enter/exit brackets its own bookkeeping with ``perf_counter`` and
+accumulates the cost into :attr:`Tracer.self_cost_s` — the number the
+paper-style self-overhead budget (<3 % on micro workloads) is asserted
+against.  :class:`NullTracer` is the disabled path: one shared inert span
+object, no allocation, no clock reads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.obs.ring import RingBuffer
+
+
+class TraceError(ReproError):
+    """Malformed span usage: orphan exit or out-of-order exit."""
+
+
+def _wall_clock_us() -> float:
+    return time.perf_counter() * 1e6
+
+
+class SpanRecord:
+    """One completed span, as stored in the ring buffer."""
+
+    __slots__ = ("seq", "parent", "name", "depth", "t_enter", "t_exit", "track", "attrs")
+
+    def __init__(
+        self,
+        seq: int,
+        parent: int,
+        name: str,
+        depth: int,
+        t_enter: float,
+        t_exit: float,
+        track: str,
+        attrs: dict[str, Any] | None,
+    ) -> None:
+        self.seq = seq
+        self.parent = parent
+        self.name = name
+        self.depth = depth
+        self.t_enter = t_enter
+        self.t_exit = t_exit
+        self.track = track
+        self.attrs = attrs
+
+    @property
+    def duration_us(self) -> float:
+        return self.t_exit - self.t_enter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, seq={self.seq}, parent={self.parent}, "
+            f"dur={self.duration_us:.1f}us)"
+        )
+
+
+class Span:
+    """An open span; a context manager that closes itself on exit."""
+
+    __slots__ = ("tracer", "seq", "parent", "name", "depth", "t_enter", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        seq: int,
+        parent: int,
+        name: str,
+        depth: int,
+        t_enter: float,
+        attrs: dict[str, Any] | None,
+    ) -> None:
+        self.tracer = tracer
+        self.seq = seq
+        self.parent = parent
+        self.name = name
+        self.depth = depth
+        self.t_enter = t_enter
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the open span."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.tracer.exit(self)
+
+
+class Tracer:
+    """Emits nested spans to an in-memory ring buffer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        #: clock returning µs; injectable for tests and sim-clock tracing
+        self.clock = clock or _wall_clock_us
+        self.buffer: RingBuffer[SpanRecord] = RingBuffer(capacity)
+        #: accumulated cost of the tracer's own bookkeeping (seconds)
+        self.self_cost_s = 0.0
+        self._stack: list[Span] = []
+        self._seq = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span; use as ``with tracer.span("phase") as s:``."""
+        return self.enter(name, **attrs)
+
+    def enter(self, name: str, **attrs: Any) -> Span:
+        t0 = time.perf_counter()
+        parent = self._stack[-1].seq if self._stack else -1
+        self._seq += 1
+        span = Span(
+            tracer=self,
+            seq=self._seq,
+            parent=parent,
+            name=name,
+            depth=len(self._stack),
+            t_enter=self.clock(),
+            attrs=attrs or None,
+        )
+        self._stack.append(span)
+        self.self_cost_s += time.perf_counter() - t0
+        return span
+
+    def exit(self, span: Span | None = None) -> SpanRecord:
+        t0 = time.perf_counter()
+        if not self._stack:
+            raise TraceError("span exit with no span open (orphan exit)")
+        top = self._stack[-1]
+        if span is not None and span is not top:
+            raise TraceError(
+                f"out-of-order span exit: tried to close {span.name!r} "
+                f"while {top.name!r} is still open"
+            )
+        self._stack.pop()
+        t_exit = self.clock()
+        record = SpanRecord(
+            seq=top.seq,
+            parent=top.parent,
+            name=top.name,
+            depth=top.depth,
+            t_enter=top.t_enter,
+            # Clamp so exit >= enter holds even for injected clocks.
+            t_exit=max(t_exit, top.t_enter),
+            track="real",
+            attrs=top.attrs,
+        )
+        self.buffer.append(record)
+        self.self_cost_s += time.perf_counter() - t0
+        return record
+
+    def emit(
+        self,
+        name: str,
+        t_start: float,
+        t_end: float,
+        track: str = "sim",
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Record a pre-timed leaf span (e.g. virtual-clock sim spans).
+
+        The span nests under the currently open span but carries the
+        caller's timestamps verbatim on its own ``track``, so virtual time
+        never mixes with the wall-clock timeline.
+        """
+        t0 = time.perf_counter()
+        parent = self._stack[-1].seq if self._stack else -1
+        self._seq += 1
+        record = SpanRecord(
+            seq=self._seq,
+            parent=parent,
+            name=name,
+            depth=len(self._stack),
+            t_enter=t_start,
+            t_exit=max(t_end, t_start),
+            track=track,
+            attrs=attrs or None,
+        )
+        self.buffer.append(record)
+        self.self_cost_s += time.perf_counter() - t0
+        return record
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def records(self) -> list[SpanRecord]:
+        """Completed spans, oldest first (open spans are not included)."""
+        return self.buffer.to_list()
+
+    def overhead_fraction(self, wall_s: float) -> float:
+        """Tracer bookkeeping cost as a fraction of ``wall_s``."""
+        if wall_s <= 0:
+            return 0.0
+        return self.self_cost_s / wall_s
+
+
+class _NullSpan:
+    """Shared inert span: the whole disabled path."""
+
+    __slots__ = ()
+    seq = -1
+    parent = -1
+    name = ""
+    depth = 0
+    attrs = None
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Tracing disabled: every call returns the shared inert span."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def span(self, name: str, **attrs: Any):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def enter(self, name: str, **attrs: Any):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def exit(self, span=None):  # type: ignore[override]
+        return None
+
+    def emit(self, name, t_start, t_end, track="sim", **attrs):  # type: ignore[override]
+        return None

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.diagnostics import Diagnostic
+from repro.obs import NULL_OBS, Obs
 from repro.pipeline.artifacts import ArtifactStore
 
 
@@ -86,6 +87,9 @@ class CompilerContext:
     keys: dict[str, str] = field(default_factory=dict)
     diagnostics: list[Diagnostic] = field(default_factory=list)
     profile: PipelineProfile = field(default_factory=PipelineProfile)
+    #: observability sink for per-pass spans and cache counters; never part
+    #: of any cache fingerprint, so enabling it cannot change artifacts
+    obs: Obs = field(default_factory=lambda: NULL_OBS)
 
     def artifact(self, name: str) -> Any:
         """The output of pass ``name`` (which must have run)."""

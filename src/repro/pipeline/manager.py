@@ -115,6 +115,8 @@ class PassManager:
         """
         schedule = self.order(target)
         store = ctx.store
+        tracer = ctx.obs.tracer
+        metrics = ctx.obs.metrics
         source_digest = digest(ctx.source, ctx.filename)
         for pass_ in schedule:
             key: str | None = None
@@ -126,15 +128,20 @@ class PassManager:
                     ctx.profile.cache_enabled = False
                     ctx.profile.cache_disabled_reason = str(exc)
             artifact, hit = (None, False)
-            t0 = time.perf_counter()
-            if key is not None:
-                artifact, hit = store.get(key)
-            if not hit:
-                inputs = {name: ctx.artifacts[name] for name in pass_.inputs}
-                artifact = pass_.run(ctx, inputs)
+            with tracer.span(f"pass.{pass_.name}") as span:
+                t0 = time.perf_counter()
                 if key is not None:
-                    store.put(key, artifact)
-            elapsed = time.perf_counter() - t0
+                    artifact, hit = store.get(key)
+                if not hit:
+                    inputs = {name: ctx.artifacts[name] for name in pass_.inputs}
+                    artifact = pass_.run(ctx, inputs)
+                    if key is not None:
+                        store.put(key, artifact)
+                elapsed = time.perf_counter() - t0
+                span.set("cache_hit", hit)
+            metrics.counter(
+                "pipeline.cache_hits" if hit else "pipeline.cache_misses"
+            ).inc()
             if store is not None and key is not None:
                 store.stats.record(pass_.name, hit)
             if key is not None:

@@ -52,6 +52,9 @@ class RankDetector:
     summaries: list[SliceSummary] = field(default_factory=list)
     #: sensors disabled at runtime (too short, §5.3)
     shutoff: set[int] = field(default_factory=set)
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry`; ``None`` keeps
+    #: the per-record hot path at a single branch
+    metrics: object | None = None
     _aggregator: SliceAggregator = None  # type: ignore[assignment]
     _seen: dict[int, int] = field(default_factory=dict)
     _dur_sum: dict[int, float] = field(default_factory=dict)
@@ -66,12 +69,16 @@ class RankDetector:
         if sid in self.shutoff:
             return []
         self.records_processed += 1
+        if self.metrics is not None:
+            self.metrics.counter("detector.records").inc()
         seen = self._seen.get(sid, 0) + 1
         self._seen[sid] = seen
         self._dur_sum[sid] = self._dur_sum.get(sid, 0.0) + record.duration
         if seen == self.config.shutoff_after:
             if self._dur_sum[sid] / seen < self.config.min_duration_us:
                 self.shutoff.add(sid)
+                if self.metrics is not None:
+                    self.metrics.counter("detector.shutoff_sensors").inc()
                 return []
         grouped = SensorRecord(
             rank=record.rank,
@@ -97,6 +104,11 @@ class RankDetector:
 
     def _analyze(self, summary: SliceSummary) -> list[VarianceEvent]:
         self.summaries.append(summary)
+        if self.metrics is not None:
+            self.metrics.counter("detector.summaries").inc()
+            self.metrics.histogram("detector.slice_duration_us").observe(
+                summary.mean_duration
+            )
         perf = self.history.observe(summary.sensor_id, summary.group, summary.mean_duration)
         if perf < self.config.threshold:
             event = VarianceEvent(
@@ -108,5 +120,7 @@ class RankDetector:
                 performance=perf,
             )
             self.events.append(event)
+            if self.metrics is not None:
+                self.metrics.counter("detector.variance_events").inc()
             return [event]
         return []

@@ -81,6 +81,9 @@ class AnalysisServer:
     #: ranks whose transport gave up on them (quiet spool, exhausted
     #: retries); matrices still render, reports carry the marker
     degraded: set[int] = field(default_factory=set)
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry` for ingest
+    #: counters; ``None`` keeps ingestion at one extra branch
+    metrics: object | None = None
 
     #: identity-keyed summary store: (rank, sensor, group, slice) -> summary
     _store: dict[tuple[int, int, str, int], SliceSummary] = field(default_factory=dict)
@@ -109,8 +112,13 @@ class AnalysisServer:
         self.bytes_received += 8 + SliceSummary.WIRE_BYTES * len(summaries)
         if seq is not None and not self._advance_watermark(rank, seq):
             self.duplicate_batches += 1
+            if self.metrics is not None:
+                self.metrics.counter("server.duplicate_batches").inc()
             return False
         self.summaries_received += len(summaries)
+        if self.metrics is not None:
+            self.metrics.counter("server.batches").inc()
+            self.metrics.counter("server.summaries").inc(len(summaries))
         for summary in summaries:
             self._ingest(summary)
         return True
@@ -141,6 +149,8 @@ class AnalysisServer:
         key = summary.identity
         if key in self._store:
             self.duplicate_summaries += 1
+            if self.metrics is not None:
+                self.metrics.counter("server.duplicate_summaries").inc()
             return
         self._store[key] = summary
         self._analysis = None

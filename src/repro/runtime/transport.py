@@ -63,6 +63,9 @@ class FileSpool:
     """
 
     directory: str
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry` for spool I/O
+    #: counters
+    metrics: object | None = None
     #: writer-side intern table (dynamic-rule group strings); code 0 is ""
     _groups: list[str] = field(default_factory=lambda: [""])
     #: writer-side: group codes already defined in each rank's file
@@ -114,6 +117,8 @@ class FileSpool:
             )
         with open(self._path(rank), "ab") as fh:
             fh.write(b"".join(chunks))
+        if self.metrics is not None:
+            self.metrics.counter("spool.records_written").inc(len(summaries))
 
     # -- server side ----------------------------------------------------------
 
@@ -150,6 +155,8 @@ class FileSpool:
             for rank in range(expected_ranks):
                 if rank not in present:
                     server.mark_degraded(rank)
+        if self.metrics is not None:
+            self.metrics.counter("spool.records_drained").inc(total)
         return total
 
     def _decode_into(
@@ -284,6 +291,9 @@ class ReliableTransport:
     clock: float = 0.0
     #: batches abandoned after max_attempts, per rank
     gave_up: dict[int, int] = field(default_factory=dict)
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry` for delivery
+    #: counters; ``None`` keeps the send/pump paths at one branch each
+    metrics: object | None = None
     _next_seq: dict[int, int] = field(default_factory=dict)
     _pending: dict[tuple[int, int], _Pending] = field(default_factory=dict)
 
@@ -304,6 +314,8 @@ class ReliableTransport:
             rank=rank, seq=seq, payload=payload, attempts=1,
             next_retry_at=self.clock + self.policy.retry_delay(1),
         )
+        if self.metrics is not None:
+            self.metrics.counter("transport.batches_sent").inc()
         self.pump(self.clock)
         return seq
 
@@ -326,13 +338,19 @@ class ReliableTransport:
         for key, pending in list(self._pending.items()):
             if self.server.is_acked(pending.rank, pending.seq):
                 del self._pending[key]
+                if self.metrics is not None:
+                    self.metrics.counter("transport.batches_acked").inc()
             elif pending.next_retry_at <= self.clock:
                 if pending.attempts >= self.policy.max_attempts:
                     del self._pending[key]
                     self.gave_up[pending.rank] = self.gave_up.get(pending.rank, 0) + 1
                     self.server.mark_degraded(pending.rank)
+                    if self.metrics is not None:
+                        self.metrics.counter("transport.batches_abandoned").inc()
                     continue
                 self.channel.stats.retried += 1
+                if self.metrics is not None:
+                    self.metrics.counter("transport.retries").inc()
                 pending.attempts += 1
                 self.channel.send(pending.rank, pending.seq, pending.payload, self.clock)
                 pending.next_retry_at = self.clock + self.policy.retry_delay(pending.attempts)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.instrument.rewrite import SensorInfo
+from repro.obs import NULL_OBS, Obs
 from repro.runtime.detector import DetectorConfig, RankDetector, VarianceEvent
 from repro.runtime.dynrules import DynamicRule, NoGrouping
 from repro.runtime.records import SensorRecord
@@ -37,6 +38,9 @@ class VSensorRuntime(RuntimeHooks):
     events: list[VarianceEvent] = field(default_factory=list)
     #: optional periodic reporter (workflow step 8's live updates)
     live: object | None = None
+    #: observability bundle; the disabled default keeps the per-record
+    #: path free of tracer work (detectors get ``metrics=None``)
+    obs: Obs = field(default_factory=lambda: NULL_OBS)
 
     def __post_init__(self) -> None:
         if self.server is None:
@@ -45,8 +49,11 @@ class VSensorRuntime(RuntimeHooks):
     # -- hook interface ----------------------------------------------------
 
     def on_program_start(self, n_ranks: int) -> None:
+        metrics = self.obs.metrics if self.obs.enabled else None
         for rank in range(n_ranks):
-            self.detectors[rank] = RankDetector(rank=rank, config=self.config, rule=self.rule)
+            self.detectors[rank] = RankDetector(
+                rank=rank, config=self.config, rule=self.rule, metrics=metrics
+            )
             self._buffers[rank] = []
             self._last_batch[rank] = 0.0
             self._summaries_seen[rank] = 0
@@ -78,6 +85,18 @@ class VSensorRuntime(RuntimeHooks):
         before = len(detector.summaries)
         self.events.extend(detector.finish())
         self._enqueue_new_summaries(rank, detector, before, t, force=True)
+        if self.obs.enabled:
+            # One virtual-time leaf span per rank's detection lifetime.
+            self.obs.tracer.emit(
+                "runtime.rank_detector",
+                0.0,
+                t,
+                rank=rank,
+                records=detector.records_processed,
+                summaries=len(detector.summaries),
+                events=len(detector.events),
+                shutoff=len(detector.shutoff),
+            )
 
     # -- batching to the analysis server (§5.4) ------------------------------
 
@@ -96,6 +115,8 @@ class VSensorRuntime(RuntimeHooks):
                 send(rank, self._buffers[rank], now)
             else:
                 self.server.receive_batch(rank, self._buffers[rank])
+            if self.obs.enabled:
+                self.obs.metrics.counter("runtime.batches_shipped").inc()
             self._buffers[rank] = []
             self._last_batch[rank] = now
             if self.live is not None:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.frontend import ast_nodes as A
 from repro.instrument.rewrite import SensorInfo
+from repro.obs import NULL_OBS, Obs
 from repro.sim.faults import Fault
 from repro.sim.hooks import NullHooks, RuntimeHooks
 from repro.sim.interp import MpiRequest, RankInterp
@@ -81,6 +82,7 @@ class Simulator:
         entry: str = "main",
         externs=None,
         engine: str = "bytecode",
+        obs: Obs | None = None,
     ) -> None:
         if engine not in ("bytecode", "ast"):
             raise ValueError(f"unknown engine {engine!r} (bytecode|ast)")
@@ -91,6 +93,7 @@ class Simulator:
         self.entry = entry
         self.externs = externs
         self.engine = engine
+        self.obs = obs or NULL_OBS
         self.network = NetworkModel(machine=machine, faults=self.faults)
         self._program_code = None  # compiled lazily, shared across runs/ranks
 
@@ -107,7 +110,8 @@ class Simulator:
                     from repro.sensors.extern import default_extern_registry
 
                     externs = default_extern_registry()
-                self._program_code = compile_module(self.module, externs)
+                with self.obs.tracer.span("sim.compile_bytecode"):
+                    self._program_code = compile_module(self.module, externs)
             program = self._program_code
             return [
                 BytecodeInterp(
@@ -144,12 +148,45 @@ class Simulator:
     # -- main loop ----------------------------------------------------------
 
     def run(self, hooks: RuntimeHooks | None = None) -> SimResult:
-        hooks = hooks or NullHooks()
+        tracer = self.obs.tracer
+        run_span = tracer.span("sim.run", engine=self.engine, n_ranks=self.machine.n_ranks)
+        try:
+            result, rounds = self._run_loop(hooks or NullHooks())
+        except BaseException:
+            # Close the span on the failure path too (deadlocks, program
+            # errors surfacing from an interpreter) so the tracer's stack
+            # stays well-formed for whoever catches the exception.
+            run_span.set("failed", True)
+            tracer.exit(run_span)
+            raise
+        if tracer.enabled:
+            # Per-rank virtual-time spans on the sim track: one leaf per
+            # rank under sim.run, timestamped by the rank's own clock.
+            for r in result.ranks:
+                tracer.emit(
+                    "sim.rank",
+                    0.0,
+                    r.finish_time,
+                    rank=r.rank,
+                    sensor_records=r.sensor_records,
+                )
+        run_span.set("mpi_matches", result.mpi_matches)
+        run_span.set("rounds", rounds)
+        tracer.exit(run_span)
+        metrics = self.obs.metrics
+        metrics.counter("sim.mpi_matches").inc(result.mpi_matches)
+        metrics.counter("sim.rendezvous_rounds").inc(rounds)
+        metrics.counter("sim.ranks_finished").inc(len(result.ranks))
+        return result
+
+    def _run_loop(self, hooks: RuntimeHooks) -> tuple[SimResult, int]:
         n = self.machine.n_ranks
         hooks.on_program_start(n)
-        interps = self._build_interps(hooks)
+        with self.obs.tracer.span("sim.build_interps"):
+            interps = self._build_interps(hooks)
         gens = [interp.run() for interp in interps]
         network = self.network
+        rounds = 0
 
         blocked: dict[int, MpiRequest] = {}
         finished: set[int] = set()
@@ -166,6 +203,7 @@ class Simulator:
         runnable: deque[tuple[int, float | None]] = deque((r, None) for r in range(n))
 
         while True:
+            rounds += 1
             while runnable:
                 rank, send_value = runnable.popleft()
                 gen = gens[rank]
@@ -240,7 +278,7 @@ class Simulator:
                 )
             )
         result.total_time = max((r.finish_time for r in result.ranks), default=0.0)
-        return result
+        return result, rounds
 
     # -- request resolution -------------------------------------------------
 

@@ -1,0 +1,149 @@
+"""Chrome trace_event export: schema round-trip and flame summary."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceFormatError,
+    Tracer,
+    chrome_trace,
+    flame_summary,
+    parse_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class StepClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 100.0
+        return self.now
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer(clock=StepClock())
+    with tracer.span("compile", passes=3):
+        with tracer.span("parse"):
+            pass
+    with tracer.span("simulate"):
+        tracer.emit("rank", 0.0, 500.0, rank=0)
+        tracer.emit("rank", 0.0, 400.0, rank=1)
+    return tracer
+
+
+class TestChromeExport:
+    def test_round_trip_through_parser(self, traced):
+        doc = chrome_trace(traced)
+        spans = parse_chrome_trace(doc)
+        assert len(spans) == 5
+        # round-trips through JSON text too
+        assert parse_chrome_trace(json.dumps(doc)) == spans
+
+    def test_events_carry_names_tracks_and_args(self, traced):
+        spans = parse_chrome_trace(chrome_trace(traced))
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+        assert by_name["compile"][0]["args"] == {"passes": 3}
+        assert by_name["compile"][0]["cat"] == "real"
+        ranks = by_name["rank"]
+        assert [r["cat"] for r in ranks] == ["sim", "sim"]
+        assert sorted(r["args"]["rank"] for r in ranks) == [0, 1]
+        # tracks map to distinct tids
+        assert {r["tid"] for r in ranks} != {by_name["compile"][0]["tid"]}
+
+    def test_metadata_names_both_tracks(self, traced):
+        doc = chrome_trace(traced)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert sorted(m["args"]["name"] for m in meta) == ["real", "sim"]
+        assert doc["otherData"]["dropped_spans"] == 0
+
+    def test_dropped_spans_reported(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert chrome_trace(tracer)["otherData"]["dropped_spans"] == 3
+
+    def test_write_and_reload_file(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced, str(path))
+        assert len(parse_chrome_trace(path.read_text())) == 5
+
+
+class TestParserRejections:
+    def test_missing_trace_events(self):
+        with pytest.raises(TraceFormatError, match="traceEvents"):
+            parse_chrome_trace({"foo": []})
+
+    def test_unsupported_phase(self):
+        doc = {"traceEvents": [{"ph": "B", "name": "x"}]}
+        with pytest.raises(TraceFormatError, match="phase"):
+            parse_chrome_trace(doc)
+
+    def test_missing_field(self):
+        event = {"name": "x", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 0, "tid": 0}
+        with pytest.raises(TraceFormatError, match="args"):
+            parse_chrome_trace({"traceEvents": [event]})
+
+    def test_wrong_type(self):
+        event = {
+            "name": "x", "ph": "X", "ts": "soon", "dur": 1.0,
+            "pid": 0, "tid": 0, "args": {},
+        }
+        with pytest.raises(TraceFormatError, match="ts"):
+            parse_chrome_trace({"traceEvents": [event]})
+
+    def test_negative_duration(self):
+        event = {
+            "name": "x", "ph": "X", "ts": 0.0, "dur": -1.0,
+            "pid": 0, "tid": 0, "args": {},
+        }
+        with pytest.raises(TraceFormatError, match="negative"):
+            parse_chrome_trace({"traceEvents": [event]})
+
+
+class TestFlameSummary:
+    def test_indented_paths_with_counts(self, traced):
+        text = flame_summary(traced)
+        lines = text.splitlines()
+        assert "flame summary (real track)" in lines[0]
+        names = [line.split()[-1] for line in lines[1:]]
+        assert names == ["compile", "parse", "simulate"]
+        parse_line = next(line for line in lines if line.endswith("parse"))
+        assert "1x" in parse_line
+        # child is indented deeper than its parent
+        compile_line = next(line for line in lines if line.endswith("compile"))
+        assert parse_line.index("parse") > compile_line.index("compile")
+
+    def test_sim_track_aggregates_repeats(self, traced):
+        text = flame_summary(traced, track="sim")
+        rank_line = next(line for line in text.splitlines() if line.endswith("rank"))
+        assert "2x" in rank_line
+
+    def test_empty_track_message(self):
+        assert "no real-track spans" in flame_summary(Tracer())
+
+    def test_siblings_sorted_by_total_time(self):
+        tracer = Tracer(clock=StepClock())
+        with tracer.span("root"):
+            with tracer.span("fast"):
+                pass
+            with tracer.span("slow"):
+                with tracer.span("inner"):
+                    pass
+        names = [line.split()[-1] for line in flame_summary(tracer).splitlines()[1:]]
+        assert names == ["root", "slow", "inner", "fast"]
+
+    def test_wraparound_appends_dropped_note(self):
+        tracer = Tracer(capacity=2)
+        with tracer.span("outer"):
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        text = flame_summary(tracer)
+        assert text.splitlines()[-1] == "(+2 dropped by ring wraparound)"

@@ -1,0 +1,149 @@
+"""Metrics registry: histogram bucket edges, snapshots, deltas, nulls."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, NullMetricsRegistry
+
+
+class TestHistogramEdges:
+    """Bucket ``i`` counts ``edges[i-1] < v <= edges[i]`` — pinned exactly."""
+
+    def test_value_on_edge_belongs_to_that_bucket(self):
+        h = Histogram("h", edges=(1.0, 10.0, 100.0))
+        h.observe(1.0)
+        h.observe(10.0)
+        h.observe(100.0)
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_value_just_above_edge_goes_to_next_bucket(self):
+        h = Histogram("h", edges=(1.0, 10.0))
+        h.observe(1.0000001)
+        assert h.counts == [0, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", edges=(1.0, 10.0))
+        h.observe(10.5)
+        h.observe(1e9)
+        assert h.counts == [0, 0, 2]
+
+    def test_below_first_edge_including_zero_and_negative(self):
+        h = Histogram("h", edges=(1.0, 10.0))
+        h.observe(0.0)
+        h.observe(-5.0)
+        h.observe(0.999)
+        assert h.counts == [3, 0, 0]
+
+    def test_total_and_sum_track_observations(self):
+        h = Histogram("h", edges=(10.0,))
+        h.observe(4.0)
+        h.observe(6.0)
+        assert h.total == 2
+        assert h.sum == pytest.approx(10.0)
+
+    def test_unsorted_or_duplicate_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_counter_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(-2.0)
+        assert reg.gauge("g").value == -2.0
+
+    def test_histogram_reregistration_with_same_edges_is_same_instance(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("h", edges=(1.0, 2.0))
+        h2 = reg.histogram("h", edges=(1.0, 2.0))
+        assert h1 is h2
+
+    def test_histogram_reregistration_with_different_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_as_dict_is_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        doc = reg.as_dict()
+        assert list(doc["counters"]) == ["a", "z"]
+        assert doc["counters"] == {"a": 2, "z": 1}
+        assert doc["gauges"] == {"g": 7.0}
+        assert doc["histograms"]["h"]["counts"] == [1, 0]
+
+
+class TestSnapshotsAndDeltas:
+    def test_snapshot_is_a_point_in_time_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        snap = reg.snapshot("before")
+        reg.counter("c").inc(10)
+        assert snap["counters"]["c"] == 3
+        assert reg.snapshots["before"]["counters"]["c"] == 3
+
+    def test_delta_between_named_snapshots(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        reg.snapshot("before")
+        reg.counter("c").inc(4)
+        reg.counter("new").inc()
+        reg.histogram("h", edges=(1.0,)).observe(2.0)
+        reg.snapshot("after")
+        delta = reg.delta("before", "after")
+        assert delta["counters"] == {"c": 4, "new": 1}
+        assert delta["histograms"]["h"]["counts"] == [0, 1]
+        assert delta["histograms"]["h"]["total"] == 1
+
+    def test_delta_accepts_raw_dicts(self):
+        reg = MetricsRegistry()
+        a = reg.snapshot("a")
+        reg.counter("c").inc(2)
+        b = reg.snapshot("b")
+        assert reg.delta(a, b)["counters"] == {"c": 2}
+
+
+class TestSelfCost:
+    def test_op_count_sums_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        assert reg.op_count() == 4
+
+    def test_estimated_cost_zero_when_unused(self):
+        assert MetricsRegistry().estimated_cost_s() == 0.0
+
+    def test_estimated_cost_positive_and_small_when_used(self):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.counter("c").inc()
+        cost = reg.estimated_cost_s()
+        assert 0.0 < cost < 0.01
+
+
+class TestNullRegistry:
+    def test_null_instruments_are_shared_and_inert(self):
+        reg = NullMetricsRegistry()
+        assert reg.counter("a") is reg.counter("b") is reg.gauge("c") is reg.histogram("d")
+        reg.counter("a").inc(100)
+        reg.gauge("g").set(5.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert reg.op_count() == 0
+        assert reg.estimated_cost_s() == 0.0
+        assert reg.enabled is False

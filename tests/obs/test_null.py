@@ -1,0 +1,87 @@
+"""The disabled (null) observability path must be a true no-op.
+
+``NULL_OBS`` is the process-wide default wired through every constructor;
+these tests pin that using the API without ``obs=`` records nothing,
+costs nothing measurable, and leaves the shared bundle pristine.
+"""
+
+from repro.api import compile_and_instrument, run_vsensor
+from repro.obs import NULL_OBS, NullMetricsRegistry, NullTracer, Obs
+from repro.sim import MachineConfig
+from repro.sim.noise import NoiseConfig
+
+SOURCE = """
+global int NITER = 4;
+void kernel() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) compute_units(20);
+}
+int main() {
+    int n;
+    for (n = 0; n < NITER; n = n + 1) {
+        kernel();
+        MPI_Barrier();
+    }
+    return 0;
+}
+"""
+
+
+def quiet_machine() -> MachineConfig:
+    return MachineConfig(
+        n_ranks=2,
+        ranks_per_node=2,
+        noise=NoiseConfig(jitter_sigma=0.0, interrupt_period_us=0.0, spike_rate_per_ms=0.0),
+    )
+
+
+def test_null_obs_is_disabled_and_shared():
+    assert NULL_OBS.enabled is False
+    assert isinstance(NULL_OBS.tracer, NullTracer)
+    assert isinstance(NULL_OBS.metrics, NullMetricsRegistry)
+    assert NULL_OBS.self_cost_s() == 0.0
+    assert NULL_OBS.overhead_fraction(1.0) == 0.0
+
+
+def test_obs_create_is_enabled():
+    obs = Obs.create()
+    assert obs.enabled is True
+    assert obs.tracer.enabled and obs.metrics.enabled
+
+
+def test_compile_default_records_nothing():
+    compile_and_instrument(SOURCE, store=None)
+    assert NULL_OBS.tracer.records() == []
+    assert NULL_OBS.metrics.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_run_vsensor_default_records_nothing():
+    run = run_vsensor(SOURCE, quiet_machine(), store=None)
+    assert run.report is not None
+    assert NULL_OBS.tracer.records() == []
+    assert NULL_OBS.metrics.op_count() == 0
+
+
+def test_run_vsensor_with_obs_populates_only_that_bundle():
+    obs = Obs.create()
+    run_vsensor(SOURCE, quiet_machine(), store=None, obs=obs)
+    assert len(obs.tracer.records()) > 0
+    assert obs.metrics.op_count() > 0
+    assert NULL_OBS.tracer.records() == []
+    assert NULL_OBS.metrics.op_count() == 0
+
+
+def test_detectors_get_no_metrics_when_disabled():
+    run = run_vsensor(SOURCE, quiet_machine(), store=None)
+    assert all(d.metrics is None for d in run.runtime.detectors.values())
+
+
+def test_overhead_report_shape():
+    obs = Obs.create()
+    run_vsensor(SOURCE, quiet_machine(), store=None, obs=obs)
+    report = obs.overhead_report(wall_s=1.0)
+    assert set(report) >= {
+        "tracer_self_s", "metrics_estimated_s", "overhead_fraction", "spans", "metric_ops",
+    }
+    assert 0.0 <= report["overhead_fraction"] < 1.0
+    assert report["spans"] == len(obs.tracer.records())

@@ -1,0 +1,66 @@
+"""Ring-buffer semantics: ordering, wraparound, drop accounting."""
+
+import pytest
+
+from repro.obs import RingBuffer
+
+
+def test_append_below_capacity_keeps_everything_in_order():
+    ring = RingBuffer(capacity=8)
+    for i in range(5):
+        ring.append(i)
+    assert len(ring) == 5
+    assert ring.to_list() == [0, 1, 2, 3, 4]
+    assert ring.dropped == 0
+
+
+def test_wraparound_overwrites_oldest_first():
+    ring = RingBuffer(capacity=4)
+    for i in range(10):
+        ring.append(i)
+    assert len(ring) == 4
+    assert ring.to_list() == [6, 7, 8, 9]
+    assert ring.dropped == 6
+
+
+def test_exact_capacity_boundary():
+    ring = RingBuffer(capacity=3)
+    for i in range(3):
+        ring.append(i)
+    assert ring.to_list() == [0, 1, 2]
+    assert ring.dropped == 0
+    ring.append(3)
+    assert ring.to_list() == [1, 2, 3]
+    assert ring.dropped == 1
+
+
+def test_capacity_one_keeps_latest():
+    ring = RingBuffer(capacity=1)
+    for i in range(5):
+        ring.append(i)
+    assert ring.to_list() == [4]
+    assert ring.dropped == 4
+
+
+def test_iteration_matches_to_list_after_multiple_wraps():
+    ring = RingBuffer(capacity=5)
+    for i in range(23):
+        ring.append(i)
+    assert list(ring) == ring.to_list() == [18, 19, 20, 21, 22]
+
+
+def test_clear_resets_everything():
+    ring = RingBuffer(capacity=2)
+    for i in range(5):
+        ring.append(i)
+    ring.clear()
+    assert len(ring) == 0
+    assert ring.to_list() == []
+    assert ring.dropped == 0
+    ring.append("x")
+    assert ring.to_list() == ["x"]
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        RingBuffer(capacity=0)

@@ -1,0 +1,161 @@
+"""Tracer span semantics: nesting, enforcement, attrs, self-cost."""
+
+import pytest
+
+from repro.obs import NullTracer, TraceError, Tracer, canonical_span_tree
+
+
+class FakeClock:
+    """Deterministic injectable µs clock."""
+
+    def __init__(self, step: float = 10.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_nested_spans_record_parent_and_depth():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer") as outer:
+        with tracer.span("inner"):
+            pass
+    records = tracer.records()
+    assert [r.name for r in records] == ["inner", "outer"]  # completion order
+    inner, outer_rec = records
+    assert inner.parent == outer_rec.seq == outer.seq
+    assert inner.depth == 1 and outer_rec.depth == 0
+    assert outer_rec.parent == -1
+
+
+def test_exit_ge_enter_with_monotonic_clock():
+    tracer = Tracer()
+    with tracer.span("s"):
+        pass
+    (record,) = tracer.records()
+    assert record.t_exit >= record.t_enter
+    assert record.duration_us >= 0
+
+
+def test_exit_clamped_for_backwards_clock():
+    class Backwards:
+        def __init__(self):
+            self.values = iter([100.0, 5.0])
+
+        def __call__(self):
+            return next(self.values)
+
+    tracer = Tracer(clock=Backwards())
+    with tracer.span("s"):
+        pass
+    (record,) = tracer.records()
+    assert record.t_exit == record.t_enter == 100.0
+
+
+def test_orphan_exit_raises():
+    tracer = Tracer()
+    with pytest.raises(TraceError, match="orphan"):
+        tracer.exit()
+
+
+def test_out_of_order_exit_raises():
+    tracer = Tracer()
+    outer = tracer.enter("outer")
+    tracer.enter("inner")
+    with pytest.raises(TraceError, match="out-of-order"):
+        tracer.exit(outer)
+
+
+def test_attrs_from_enter_and_set():
+    tracer = Tracer()
+    with tracer.span("s", kind="test") as span:
+        span.set("result", 42)
+    (record,) = tracer.records()
+    assert record.attrs == {"kind": "test", "result": 42}
+
+
+def test_span_closed_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    assert tracer.open_depth == 0
+    assert [r.name for r in tracer.records()] == ["failing"]
+
+
+def test_emit_records_leaf_under_current_span():
+    tracer = Tracer()
+    with tracer.span("parent") as parent:
+        tracer.emit("leaf", 100.0, 250.0, rank=3)
+    leaf = next(r for r in tracer.records() if r.name == "leaf")
+    assert leaf.parent == parent.seq
+    assert leaf.track == "sim"
+    assert (leaf.t_enter, leaf.t_exit) == (100.0, 250.0)
+    assert leaf.attrs == {"rank": 3}
+
+
+def test_emit_clamps_reversed_interval():
+    tracer = Tracer()
+    record = tracer.emit("leaf", 50.0, 10.0)
+    assert record.t_exit == record.t_enter == 50.0
+
+
+def test_ring_capacity_drops_oldest_spans():
+    tracer = Tracer(capacity=3)
+    for i in range(6):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [r.name for r in tracer.records()] == ["s3", "s4", "s5"]
+    assert tracer.buffer.dropped == 3
+
+
+def test_self_cost_accumulates_and_overhead_fraction():
+    tracer = Tracer()
+    for _ in range(100):
+        with tracer.span("s"):
+            pass
+    assert tracer.self_cost_s > 0
+    assert tracer.overhead_fraction(1.0) == pytest.approx(tracer.self_cost_s)
+    assert tracer.overhead_fraction(0.0) == 0.0
+
+
+def test_canonical_tree_structure():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("root", phase="x"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            tracer.emit("vleaf", 0.0, 5.0, rank=1)
+    tree = canonical_span_tree(tracer)
+    assert len(tree) == 1
+    root = tree[0]
+    assert root["name"] == "root"
+    assert root["attrs"] == {"phase": "x"}
+    assert [c["name"] for c in root["children"]] == ["a", "b"]
+    assert root["children"][1]["children"][0] == {
+        "name": "vleaf",
+        "track": "sim",
+        "attrs": {"rank": 1},
+    }
+    assert "t_enter" not in repr(tree)  # no timestamps anywhere in canonical form
+
+
+class TestNullTracer:
+    def test_span_returns_shared_inert_object(self):
+        tracer = NullTracer()
+        s1 = tracer.span("a", x=1)
+        s2 = tracer.span("b")
+        assert s1 is s2
+        with s1:
+            s1.set("k", "v")
+        assert tracer.records() == []
+        assert tracer.self_cost_s == 0.0
+        assert tracer.enabled is False
+
+    def test_exit_and_emit_are_noops(self):
+        tracer = NullTracer()
+        tracer.exit()  # no orphan error on the null path
+        tracer.emit("x", 0.0, 1.0)
+        assert tracer.records() == []

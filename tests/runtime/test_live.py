@@ -81,3 +81,80 @@ def test_no_variance_no_detection_time():
     )
     comp_lows = [s.low_cells.get(SensorType.COMPUTATION, 0) for s in reporter.snapshots]
     assert all(c == 0 for c in comp_lows)
+
+
+# ---------------------------------------------------------------------------
+# Snapshots under degraded ranks / lossy channels
+# ---------------------------------------------------------------------------
+
+
+def _lossy_run(reporter, drop: float, max_attempts: int = 2):
+    from repro.runtime.transport import RetryPolicy
+
+    return run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        batch_period_us=250.0,
+        live=reporter,
+        channel=f"drop={drop},seed=11",
+        retry_policy=RetryPolicy(timeout_us=100.0, max_attempts=max_attempts),
+    )
+
+
+def test_snapshot_surfaces_channel_counters():
+    reporter = LiveReporter(period_us=500.0)
+    run = _lossy_run(reporter, drop=0.3, max_attempts=16)
+    assert reporter.snapshots, "lossy run produced no snapshots"
+    last = reporter.snapshots[-1]
+    assert last.channel is not None
+    assert last.channel["sent"] > 0
+    assert set(last.channel) == set(run.channel_stats)
+
+
+def test_snapshot_degraded_ranks_under_heavy_loss():
+    reporter = LiveReporter(period_us=250.0)
+    run = _lossy_run(reporter, drop=0.97, max_attempts=2)
+    degraded_final = run.report.degraded_ranks
+    assert degraded_final, "expected heavy loss to degrade some rank"
+    with_degraded = [s for s in reporter.snapshots if s.degraded_ranks]
+    assert with_degraded, "no snapshot observed the degraded set"
+    for snapshot in with_degraded:
+        assert list(snapshot.degraded_ranks) == sorted(snapshot.degraded_ranks)
+        assert set(snapshot.degraded_ranks) <= set(degraded_final)
+
+
+def test_snapshot_build_unwraps_transport_proxy():
+    """_build must read ``degraded`` from the real server behind a
+    ReliableTransport proxy, and counters from its channel."""
+    from repro.runtime.channel import perfect_channel
+    from repro.runtime.server import AnalysisServer
+    from repro.runtime.transport import ReliableTransport
+
+    server = AnalysisServer(n_ranks=2)
+    server.mark_degraded(1)
+    transport = ReliableTransport(server=server, channel=perfect_channel())
+
+    class FakeRuntime:
+        pass
+
+    runtime = FakeRuntime()
+    runtime.server = transport
+    runtime.events = []
+    reporter = LiveReporter(period_us=0.0)
+    snapshot = reporter.maybe_snapshot(runtime, now=1.0)
+    assert snapshot is not None
+    assert snapshot.degraded_ranks == (1,)
+    assert snapshot.channel == transport.channel.stats.as_dict()
+    assert snapshot.matrices == {}  # no data yet: all-NaN matrices are omitted
+
+
+def test_snapshot_without_channel_has_none():
+    reporter = LiveReporter(period_us=500.0)
+    run_vsensor(
+        SIMPLE_MPI_PROGRAM,
+        MachineConfig(n_ranks=4, ranks_per_node=2),
+        batch_period_us=250.0,
+        live=reporter,
+    )
+    assert all(s.channel is None for s in reporter.snapshots)
+    assert all(s.degraded_ranks == () for s in reporter.snapshots)

@@ -193,3 +193,45 @@ class TestPipelineFlags:
     def test_instrument_profile_passes(self, program_file, capsys):
         assert main(["instrument", program_file, "--profile-passes"]) == 0
         assert "per-pass profile:" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_obs_summary_prints_flame_and_budget(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--ranks", "4", "--ranks-per-node", "2",
+             "--obs-summary"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flame summary (real track)" in out
+        assert "vsensor.simulate" in out
+        assert "observability self-cost:" in out
+
+    def test_trace_out_writes_loadable_chrome_trace(self, program_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", program_file, "--ranks", "4", "--ranks-per-node", "2",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        from repro.obs import parse_chrome_trace
+
+        spans = parse_chrome_trace(trace_path.read_text())
+        assert any(s["name"] == "vsensor.simulate" for s in spans)
+        assert "trace written to" in capsys.readouterr().out
+
+    def test_metrics_out_writes_sorted_document(self, program_file, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["run", program_file, "--ranks", "4", "--ranks-per-node", "2",
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        doc = json.loads(metrics_path.read_text())
+        assert set(doc) == {"counters", "gauges", "histograms"}
+        assert doc["counters"]["sim.ranks_finished"] == 4
+
+    def test_run_without_obs_flags_prints_no_flame(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--ranks", "4", "--ranks-per-node", "2"]
+        ) == 0
+        assert "flame summary" not in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""CSV export and summary of performance matrices, including missing cells."""
+
+import numpy as np
+import pytest
+
+from repro.viz.matrix import matrix_to_csv, summarize_matrix
+
+
+def _read_rows(path):
+    lines = path.read_text().splitlines()
+    return lines[0].split(","), [line.split(",") for line in lines[1:]]
+
+
+def test_csv_header_is_window_start_seconds(tmp_path):
+    path = tmp_path / "m.csv"
+    matrix_to_csv(np.ones((2, 3)), str(path), window_us=200_000.0)
+    header, rows = _read_rows(path)
+    assert header == ["rank", "0.000", "0.200", "0.400"]
+    assert [r[0] for r in rows] == ["0", "1"]
+
+
+def test_missing_cells_render_as_empty_fields(tmp_path):
+    matrix = np.array([[1.0, np.nan, 0.5], [np.nan, np.nan, np.nan]])
+    path = tmp_path / "m.csv"
+    matrix_to_csv(matrix, str(path), window_us=1e6)
+    _, rows = _read_rows(path)
+    assert rows[0] == ["0", "1.0000", "", "0.5000"]
+    assert rows[1] == ["1", "", "", ""]  # fully-degraded rank: all cells empty
+
+
+def test_csv_round_trips_through_numpy(tmp_path):
+    matrix = np.array([[0.9, np.nan], [0.25, 1.0]])
+    path = tmp_path / "m.csv"
+    matrix_to_csv(matrix, str(path), window_us=200_000.0)
+    back = np.genfromtxt(str(path), delimiter=",", skip_header=1)[:, 1:]
+    assert np.allclose(back, matrix, equal_nan=True, atol=1e-4)
+
+
+def test_infinite_values_render_as_missing(tmp_path):
+    matrix = np.array([[np.inf, -np.inf, 0.75]])
+    path = tmp_path / "m.csv"
+    matrix_to_csv(matrix, str(path), window_us=1e6)
+    _, rows = _read_rows(path)
+    assert rows[0] == ["0", "", "", "0.7500"]
+
+
+def test_summary_of_partial_matrix_ignores_missing_cells():
+    matrix = np.array([[1.0, np.nan], [0.5, np.nan]])
+    summary = summarize_matrix(matrix)
+    assert summary["cells"] == 2
+    assert summary["mean"] == pytest.approx(0.75)
+    assert summary["min"] == pytest.approx(0.5)
+    assert summary["low_fraction"] == pytest.approx(0.5)
+
+
+def test_summary_of_all_missing_matrix():
+    summary = summarize_matrix(np.full((3, 4), np.nan))
+    assert summary["cells"] == 0
+    assert np.isnan(summary["mean"]) and np.isnan(summary["min"])
+    assert summary["low_fraction"] == 0.0
+
+
+def test_summary_of_empty_matrix():
+    summary = summarize_matrix(np.zeros((0, 0)))
+    assert summary["cells"] == 0
+    assert summary["low_fraction"] == 0.0
