@@ -146,6 +146,7 @@ def run_vsensor(
     extra_hooks: Sequence = (),
     live=None,
     engine: str = "bytecode",
+    analysis_engine: str = "columnar",
     channel=None,
     retry_policy=None,
     store: ArtifactStore | None | object = _DEFAULT_STORE,
@@ -166,6 +167,12 @@ def run_vsensor(
     uses sequence numbers + retries (``retry_policy``) with idempotent
     server ingest, and the run's :attr:`VSensorRun.channel_stats` /
     report fields expose the delivery counters.
+
+    ``analysis_engine`` selects the server's analysis data path:
+    ``"columnar"`` (default; vectorized store with incremental canonical
+    replay) or ``"reference"`` (the original object-at-a-time replay) —
+    the two are bit-identical, the reference tier exists for differential
+    testing.
 
     ``store`` is forwarded to :func:`compile_and_instrument`.
 
@@ -194,7 +201,9 @@ def run_vsensor(
         n_ranks=machine.n_ranks,
         window_us=window_us,
         batch_period_us=batch_period_us,
+        engine=analysis_engine,
         metrics=metrics,
+        obs=obs if obs.enabled else None,
     )
     runtime = VSensorRuntime(
         sensors=static.program.sensors,

@@ -167,6 +167,7 @@ def cmd_run(args) -> int:
         faults=faults,
         window_us=args.window_ms * 1000.0,
         engine=args.engine,
+        analysis_engine=args.analysis_engine,
         channel=args.channel,
         obs=obs,
         **_compile_kwargs(args),
@@ -289,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("bytecode", "ast"),
         default="bytecode",
         help="interpreter tier: compiled register VM (default) or the AST reference",
+    )
+    p_run.add_argument(
+        "--analysis-engine",
+        choices=("columnar", "reference"),
+        default="columnar",
+        help="analysis-server data path: vectorized columnar store with "
+        "incremental replay (default) or the object-at-a-time reference",
     )
     p_run.add_argument(
         "--profile",

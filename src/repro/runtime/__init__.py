@@ -25,10 +25,11 @@ behind the simulator's hook interface.
 """
 
 from repro.runtime.channel import ChannelConfig, ChannelStats, LossyChannel
+from repro.runtime.columnar import ColumnarStore
 from repro.runtime.detector import DetectorConfig, RankDetector, VarianceEvent
 from repro.runtime.dynrules import CacheMissBands, DynamicRule, NoGrouping
-from repro.runtime.history import SensorHistory
-from repro.runtime.records import SensorRecord, SliceSummary
+from repro.runtime.history import SensorHistory, observe_block
+from repro.runtime.records import SensorRecord, SliceSummary, SummaryColumns
 from repro.runtime.report import VarianceReport
 from repro.runtime.server import AnalysisServer, InterProcessEvent
 from repro.runtime.smoothing import SliceAggregator
@@ -40,6 +41,7 @@ __all__ = [
     "CacheMissBands",
     "ChannelConfig",
     "ChannelStats",
+    "ColumnarStore",
     "FileSpool",
     "InterProcessEvent",
     "LossyChannel",
@@ -53,7 +55,9 @@ __all__ = [
     "SensorRecord",
     "SliceAggregator",
     "SliceSummary",
+    "SummaryColumns",
     "VSensorRuntime",
     "VarianceEvent",
     "VarianceReport",
+    "observe_block",
 ]

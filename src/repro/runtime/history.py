@@ -10,6 +10,38 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+
+def observe_block(
+    durations: np.ndarray, prev_standard: float | None
+) -> tuple[np.ndarray, float]:
+    """Vectorized :meth:`SensorHistory.observe` over one (sensor, group) run.
+
+    ``durations`` are that key's slice averages in canonical replay order;
+    ``prev_standard`` is the standard time carried in from earlier epochs
+    (``None`` for a fresh key).  Returns the per-observation normalized
+    performance and the new standard, with the exact branch semantics of
+    the scalar path: a strictly faster (or first) observation scores 1.0
+    and lowers the standard, a non-positive duration scores 1.0 without
+    touching the standard, everything else scores ``standard / duration``
+    against the running cumulative minimum.
+    """
+    d = np.asarray(durations, dtype=np.float64)
+    seed = np.inf if prev_standard is None else prev_standard
+    cummin = np.minimum.accumulate(np.concatenate(([seed], d)))
+    prev_min = cummin[:-1]
+    # Both branches of the where() are evaluated eagerly; the discarded
+    # one may divide by zero / by the inf seed, so silence those only.
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        perf = np.where(d < prev_min, 1.0, np.where(d <= 0.0, 1.0, prev_min / d))
+    if prev_standard is None and len(d):
+        # The first observation of a key always defines the standard and
+        # scores 1.0, whatever its value (matches the ``standard is None``
+        # branch even for non-finite durations).
+        perf[0] = 1.0
+    return perf, float(cummin[-1])
+
 
 @dataclass(slots=True)
 class SensorHistory:
@@ -39,3 +71,8 @@ class SensorHistory:
 
     def entries(self) -> int:
         return len(self._standard)
+
+    @classmethod
+    def from_standards(cls, standards: dict[tuple[int, str], float]) -> "SensorHistory":
+        """Rehydrate a history from replayed standard times (columnar path)."""
+        return cls(_standard=dict(standards))

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sensors.model import SensorType
+
+#: wire codes for sensor types — shared by the spool codec and the columnar
+#: analysis store so decoded batches never need enum objects per row
+SENSOR_TYPE_CODE = {SensorType.COMPUTATION: 0, SensorType.NETWORK: 1, SensorType.IO: 2}
+CODE_SENSOR_TYPE = {code: stype for stype, code in SENSOR_TYPE_CODE.items()}
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,3 +63,57 @@ class SliceSummary:
         summary per (sensor, group, slice), so redelivery is detectable
         without any transport metadata."""
         return (self.rank, self.sensor_id, self.group, self.slice_index)
+
+
+@dataclass(slots=True)
+class SummaryColumns:
+    """One decoded batch as parallel column arrays (no per-row objects).
+
+    This is what the zero-copy spool decode hands the analysis server:
+    every field of :class:`SliceSummary` as one NumPy array, with group
+    strings carried as per-row codes plus a ``code -> string`` table.  The
+    columnar server ingests the arrays directly; the reference engine
+    materializes :class:`SliceSummary` objects via :meth:`to_summaries`
+    (bit-identical to the historical per-record ``struct`` decode).
+    """
+
+    rank: int
+    sensor_id: np.ndarray
+    sensor_type_code: np.ndarray
+    group_code: np.ndarray
+    group_table: dict[int, str]
+    slice_index: np.ndarray
+    t_slice_start: np.ndarray
+    mean_duration: np.ndarray
+    count: np.ndarray
+    mean_cache_miss: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.sensor_id)
+
+    def to_summaries(self) -> list[SliceSummary]:
+        """Materialize per-row objects (reference-engine fallback)."""
+        groups = self.group_table
+        return [
+            SliceSummary(
+                rank=self.rank,
+                sensor_id=sensor_id,
+                sensor_type=CODE_SENSOR_TYPE[type_code],
+                group=groups.get(group_code, ""),
+                slice_index=slice_index,
+                t_slice_start=t_start,
+                mean_duration=duration,
+                count=count,
+                mean_cache_miss=miss,
+            )
+            for sensor_id, type_code, group_code, slice_index, t_start, duration, count, miss in zip(
+                self.sensor_id.tolist(),
+                self.sensor_type_code.tolist(),
+                self.group_code.tolist(),
+                self.slice_index.tolist(),
+                self.t_slice_start.tolist(),
+                self.mean_duration.astype(np.float64).tolist(),
+                self.count.tolist(),
+                self.mean_cache_miss.tolist(),
+            )
+        ]

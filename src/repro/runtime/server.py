@@ -20,6 +20,18 @@ sensor, group, slice)`` rather than folded into running aggregates.  The
 matrices and inter-process verdicts are computed by replaying the keyed
 store in canonical slice order, which makes them bit-identical under any
 permutation or redelivery of the incoming batches.
+
+Two analysis engines share those semantics:
+
+* ``engine="columnar"`` (default) keeps the store as append-only NumPy
+  columns (:mod:`repro.runtime.columnar`) with incremental canonical
+  replay and vectorized matrix / inter-process kernels;
+* ``engine="reference"`` is the original object-at-a-time dict store and
+  pure-Python full replay, kept as the differential-testing oracle.
+
+The two are bit-identical — same matrices, events, counters and byte
+accounting — under any delivery schedule; ``tests/runtime/
+test_server_columnar.py`` pins that with hypothesis.
 """
 
 from __future__ import annotations
@@ -28,8 +40,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.runtime.columnar import ColumnarStore
 from repro.runtime.history import SensorHistory
-from repro.runtime.records import SliceSummary
+from repro.runtime.records import SENSOR_TYPE_CODE, SliceSummary, SummaryColumns
 from repro.sensors.model import SensorType
 
 
@@ -69,6 +82,9 @@ class AnalysisServer:
     #: batching period per rank (µs)
     batch_period_us: float = 100_000.0
     threshold: float = 0.7
+    #: analysis engine: "columnar" (vectorized store + incremental replay)
+    #: or "reference" (object-at-a-time dict store, the oracle)
+    engine: str = "columnar"
 
     bytes_received: int = 0
     batches_received: int = 0
@@ -84,8 +100,11 @@ class AnalysisServer:
     #: optional :class:`~repro.obs.metrics.MetricsRegistry` for ingest
     #: counters; ``None`` keeps ingestion at one extra branch
     metrics: object | None = None
+    #: optional :class:`~repro.obs.Obs` bundle for per-epoch replay spans
+    obs: object | None = None
 
     #: identity-keyed summary store: (rank, sensor, group, slice) -> summary
+    #: (reference engine only; the columnar engine stores rows in _columns)
     _store: dict[tuple[int, int, str, int], SliceSummary] = field(default_factory=dict)
     #: per-rank received sequence numbers above the watermark
     _seen_seqs: dict[int, set[int]] = field(default_factory=dict)
@@ -96,20 +115,39 @@ class AnalysisServer:
     #: virtual time of the freshest slice each rank has reported
     _last_seen: dict[int, float] = field(default_factory=dict)
     _analysis: _Analysis | None = None
+    _columns: ColumnarStore | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine == "columnar":
+            self._columns = ColumnarStore(self.window_us)
+        elif self.engine != "reference":
+            raise ValueError(
+                f"unknown analysis engine {self.engine!r} (expected 'columnar' or 'reference')"
+            )
 
     # -- ingestion ----------------------------------------------------------
 
     def receive_batch(
-        self, rank: int, summaries: list[SliceSummary], seq: int | None = None
+        self,
+        rank: int,
+        summaries: list[SliceSummary],
+        seq: int | None = None,
+        encoded_bytes: int | None = None,
     ) -> bool:
         """One batched transfer from a rank's local buffer.
 
         ``seq`` is the rank's batch sequence number when the batch came over
         a sequenced transport; redelivered sequence numbers are counted and
-        dropped (idempotent ingest).  Returns True iff the batch was new.
+        dropped (idempotent ingest).  ``encoded_bytes`` is the actual wire
+        size when the batch arrived through the codec (frame headers and
+        group-definition frames included); direct in-process handoffs leave
+        it ``None`` and are accounted at the nominal header + payload size.
+        Returns True iff the batch was new.
         """
         self.batches_received += 1
-        self.bytes_received += 8 + SliceSummary.WIRE_BYTES * len(summaries)
+        if encoded_bytes is None:
+            encoded_bytes = 8 + SliceSummary.WIRE_BYTES * len(summaries)
+        self.bytes_received += encoded_bytes
         if seq is not None and not self._advance_watermark(rank, seq):
             self.duplicate_batches += 1
             if self.metrics is not None:
@@ -119,9 +157,61 @@ class AnalysisServer:
         if self.metrics is not None:
             self.metrics.counter("server.batches").inc()
             self.metrics.counter("server.summaries").inc(len(summaries))
-        for summary in summaries:
-            self._ingest(summary)
+        if self._columns is not None:
+            duplicates, max_window = self._columns.ingest_summaries(
+                summaries, self._sensor_types, self._last_seen
+            )
+            self._note_ingest(duplicates, max_window)
+        else:
+            for summary in summaries:
+                self._ingest(summary)
         return True
+
+    def receive_batch_columns(
+        self,
+        rank: int,
+        columns: SummaryColumns,
+        seq: int | None = None,
+        encoded_bytes: int | None = None,
+    ) -> bool:
+        """Like :meth:`receive_batch`, for a zero-copy decoded batch.
+
+        The columnar engine ingests the arrays directly; the reference
+        engine materializes :class:`SliceSummary` objects first so its
+        per-summary ``_ingest`` path (and any test hook overriding it)
+        stays on the wire path.
+        """
+        self.batches_received += 1
+        if encoded_bytes is None:
+            encoded_bytes = 8 + SliceSummary.WIRE_BYTES * len(columns)
+        self.bytes_received += encoded_bytes
+        if seq is not None and not self._advance_watermark(rank, seq):
+            self.duplicate_batches += 1
+            if self.metrics is not None:
+                self.metrics.counter("server.duplicate_batches").inc()
+            return False
+        self.summaries_received += len(columns)
+        if self.metrics is not None:
+            self.metrics.counter("server.batches").inc()
+            self.metrics.counter("server.summaries").inc(len(columns))
+        if self._columns is not None:
+            duplicates, max_window = self._columns.ingest_columns(
+                columns, self._sensor_types, self._last_seen
+            )
+            self._note_ingest(duplicates, max_window)
+        else:
+            for summary in columns.to_summaries():
+                self._ingest(summary)
+        return True
+
+    def _note_ingest(self, duplicates: int, max_window: int | None) -> None:
+        """Fold one columnar ingest's outcome into the server counters."""
+        if duplicates:
+            self.duplicate_summaries += duplicates
+            if self.metrics is not None:
+                self.metrics.counter("server.duplicate_summaries").inc(duplicates)
+        if max_window is not None and max_window > self._max_window:
+            self._max_window = max_window
 
     def _advance_watermark(self, rank: int, seq: int) -> bool:
         """Record one received sequence number; False if already seen."""
@@ -159,6 +249,13 @@ class AnalysisServer:
         last = self._last_seen.get(summary.rank)
         if last is None or summary.t_slice_start > last:
             self._last_seen[summary.rank] = summary.t_slice_start
+
+    @property
+    def stored_summaries(self) -> int:
+        """Deduplicated summaries currently in the store (either engine)."""
+        if self._columns is not None:
+            return len(self._columns)
+        return len(self._store)
 
     # -- degradation / coverage --------------------------------------------
 
@@ -211,22 +308,58 @@ class AnalysisServer:
         self._analysis = analysis
         return analysis
 
+    def _replay_columnar(self) -> ColumnarStore:
+        """Bring the columnar store's canonical order up to date.
+
+        Emits a ``server.replay`` span (kind + rows attrs) and bumps the
+        ``server.replay.{full,incremental}`` counter — only when the store
+        actually had pending rows, so pure queries stay silent.
+        """
+        store = self._columns
+        assert store is not None
+        if not store.pending():
+            return store
+        if self.obs is not None:
+            with self.obs.tracer.span("server.replay") as span:
+                kind, rows = store.replay()
+                span.set("kind", kind)
+                span.set("rows", rows)
+        else:
+            kind, _ = store.replay()
+        if self.metrics is not None:
+            self.metrics.counter(f"server.replay.{kind}").inc()
+        return store
+
     @property
     def history(self) -> SensorHistory:
         """Cross-rank standard times, as replayed from the current store."""
+        if self._columns is not None:
+            self._replay_columnar()
+            return SensorHistory.from_standards(self._columns.history_standards())
         return self._replay().history
 
     # -- inter-process analysis (§5.4) --------------------------------------
 
     def detect_inter_process(self, min_ranks: int = 2) -> list[InterProcessEvent]:
         """Compare the same v-sensor across ranks within each window."""
-        analysis = self._replay()
         self.inter_events = []
-        for (sensor_id, window), per_rank in sorted(analysis.per_sensor.items()):
-            if len(per_rank) < min_ranks:
+        if self._columns is not None:
+            store = self._replay_columnar()
+            blocks = store.inter_blocks()
+        else:
+            analysis = self._replay()
+            blocks = (
+                (
+                    sensor_id,
+                    window,
+                    np.array(sorted(per_rank)),
+                    np.array([per_rank[rank] for rank in sorted(per_rank)]),
+                )
+                for (sensor_id, window), per_rank in sorted(analysis.per_sensor.items())
+            )
+        for sensor_id, window, ranks, durations in blocks:
+            if len(ranks) < min_ranks:
                 continue
-            ranks = np.array(sorted(per_rank))
-            durations = np.array([per_rank[int(r)] for r in ranks])
             best = durations.min()
             if best <= 0:
                 continue
@@ -242,7 +375,7 @@ class AnalysisServer:
                     t_window_start=window * self.window_us,
                     slow_ranks=tuple(int(r) for r in ranks[slow_mask]),
                     worst_performance=float(perf.min()),
-                    coverage=len(per_rank) / self.n_ranks if self.n_ranks else 1.0,
+                    coverage=len(ranks) / self.n_ranks if self.n_ranks else 1.0,
                 )
             )
         return self.inter_events
@@ -259,8 +392,11 @@ class AnalysisServer:
         Degraded ranks simply keep their NaN cells — partial telemetry
         must never crash matrix rendering.
         """
-        analysis = self._replay()
         n_windows = self._max_window + 1
+        if self._columns is not None:
+            store = self._replay_columnar()
+            return store.matrix(SENSOR_TYPE_CODE[sensor_type], self.n_ranks, n_windows)
+        analysis = self._replay()
         matrix = np.full((self.n_ranks, n_windows), np.nan)
         for (stype, window), ranks in analysis.cells.items():
             if stype is not sensor_type:

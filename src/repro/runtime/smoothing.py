@@ -37,7 +37,7 @@ class SliceAggregator:
     _open: dict[tuple[int, str], list] = field(default_factory=dict)
     _types: dict[int, SensorType] = field(default_factory=dict)
 
-    def add(self, record: SensorRecord):
+    def add(self, record: SensorRecord) -> tuple[SliceSummary, ...]:
         """Feed one record; return any slice summaries completed by it."""
         key = (record.sensor_id, record.group)
         idx = int(record.t_end // self.slice_us)
@@ -51,7 +51,7 @@ class SliceAggregator:
         self._open[key] = [idx, record.duration, record.cache_miss_rate, 1]
         if entry is None:
             return _NO_SUMMARIES
-        return [self._emit(key, entry)]
+        return (self._emit(key, entry),)
 
     def flush(self) -> list[SliceSummary]:
         """Emit every open slice (end of run)."""

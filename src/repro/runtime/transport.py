@@ -31,11 +31,12 @@ import os
 import struct
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ReproError
 from repro.runtime.channel import LossyChannel
-from repro.runtime.records import SliceSummary
+from repro.runtime.records import CODE_SENSOR_TYPE, SENSOR_TYPE_CODE, SliceSummary, SummaryColumns
 from repro.runtime.server import AnalysisServer
-from repro.sensors.model import SensorType
 
 #: one record: sensor id (u32), slice index (u32), mean duration (f32),
 #: count (u16), mean cache miss scaled to u16 — 16 bytes with padding,
@@ -48,8 +49,26 @@ _GROUP_LEN = struct.Struct("<H")
 #: their (historical) record count of 1 there.
 _GROUP_FRAME = 0xFFFF
 
-_TYPE_CODE = {SensorType.COMPUTATION: 0, SensorType.NETWORK: 1, SensorType.IO: 2}
-_CODE_TYPE = {v: k for k, v in _TYPE_CODE.items()}
+#: one complete record frame (header + packed record) as a structured
+#: dtype — lets a drain decode a run of record frames with a single
+#: ``np.frombuffer`` view instead of per-record ``struct.unpack_from``
+_FRAME_DTYPE = np.dtype(
+    [
+        ("rank", "<u4"),
+        ("kind", "<u2"),
+        ("tag", "<u2"),
+        ("sensor", "<u4"),
+        ("slice", "<u4"),
+        ("dur", "<f4"),
+        ("count", "<u2"),
+        ("miss", "<u2"),
+        ("pad", "V2"),
+    ]
+)
+assert _FRAME_DTYPE.itemsize == _FRAME_HEADER.size + _RECORD.size
+
+_TYPE_CODE = SENSOR_TYPE_CODE
+_CODE_TYPE = CODE_SENSOR_TYPE
 
 
 @dataclass(slots=True)
@@ -162,19 +181,29 @@ class FileSpool:
     def _decode_into(
         self, server: AnalysisServer, rank: int, data: bytes, slice_us: float
     ) -> tuple[int, int]:
-        """Decode complete frames; return (records decoded, bytes consumed)."""
+        """Decode complete frames; return (records decoded, bytes consumed).
+
+        Record frames are decoded zero-copy: a maximal run of complete
+        record frames becomes one ``np.frombuffer`` structured view over
+        ``data`` and goes to the server as column arrays
+        (:meth:`AnalysisServer.receive_batch_columns`).  Group-definition
+        frames (variable length, rare) stay on the scalar path.  Frame
+        boundaries and error behaviour are unchanged: a truncated tail is
+        left for the next drain, an unknown frame kind raises.
+        """
         groups = self._reader_groups.setdefault(rank, {0: ""})
+        n = len(data)
         pos = 0
         count = 0
-        batch: list[SliceSummary] = []
-        while pos + _FRAME_HEADER.size <= len(data):
+        runs: list[np.ndarray] = []
+        while pos + _FRAME_HEADER.size <= n:
             _rank, kind, tag = _FRAME_HEADER.unpack_from(data, pos)
             body = pos + _FRAME_HEADER.size
             if kind == _GROUP_FRAME:
-                if body + _GROUP_LEN.size > len(data):
+                if body + _GROUP_LEN.size > n:
                     break
                 (length,) = _GROUP_LEN.unpack_from(data, body)
-                if body + _GROUP_LEN.size + length > len(data):
+                if body + _GROUP_LEN.size + length > n:
                     break
                 start = body + _GROUP_LEN.size
                 groups[tag] = data[start : start + length].decode("utf-8")
@@ -185,28 +214,33 @@ class FileSpool:
                     f"corrupt spool for rank {rank}: unknown frame kind {kind:#x} "
                     f"at offset {self._offsets.get(rank, 0) + pos}"
                 )
-            if body + _RECORD.size > len(data):
-                break
-            sensor_id, slice_index, mean_duration, n_records, miss_u16 = _RECORD.unpack_from(
-                data, body
+            whole_frames = (n - pos) // _FRAME_DTYPE.itemsize
+            if whole_frames == 0:
+                break  # truncated record frame: re-read next drain
+            frames = np.frombuffer(data, dtype=_FRAME_DTYPE, count=whole_frames, offset=pos)
+            # The run ends at the first non-record frame (group definition
+            # or corruption — the outer loop re-examines it byte-wise).
+            breaks = np.flatnonzero(frames["kind"] != 1)
+            run = int(breaks[0]) if len(breaks) else whole_frames
+            runs.append(frames[:run])
+            count += run
+            pos += run * _FRAME_DTYPE.itemsize
+        if count:
+            frames = runs[0] if len(runs) == 1 else np.concatenate(runs)
+            tags = frames["tag"]
+            columns = SummaryColumns(
+                rank=rank,
+                sensor_id=frames["sensor"].astype(np.int64),
+                sensor_type_code=(tags >> 12).astype(np.int64),
+                group_code=(tags & 0x0FFF).astype(np.int64),
+                group_table=groups,
+                slice_index=frames["slice"].astype(np.int64),
+                t_slice_start=frames["slice"].astype(np.float64) * slice_us,
+                mean_duration=frames["dur"],
+                count=frames["count"].astype(np.int64),
+                mean_cache_miss=frames["miss"].astype(np.float64) / 0xFFFF,
             )
-            pos = body + _RECORD.size
-            batch.append(
-                SliceSummary(
-                    rank=rank,
-                    sensor_id=sensor_id,
-                    sensor_type=_CODE_TYPE[tag >> 12],
-                    group=groups.get(tag & 0x0FFF, ""),
-                    slice_index=slice_index,
-                    t_slice_start=slice_index * slice_us,
-                    mean_duration=mean_duration,
-                    count=n_records,
-                    mean_cache_miss=miss_u16 / 0xFFFF,
-                )
-            )
-            count += 1
-        if batch:
-            server.receive_batch(rank, batch)
+            server.receive_batch_columns(rank, columns, encoded_bytes=pos)
         return count, pos
 
 
@@ -296,10 +330,28 @@ class ReliableTransport:
     metrics: object | None = None
     _next_seq: dict[int, int] = field(default_factory=dict)
     _pending: dict[tuple[int, int], _Pending] = field(default_factory=dict)
+    #: group strings already encoded once per rank (codec state: a group
+    #: definition frame goes on the wire only before its first use)
+    _sent_groups: dict[int, set[str]] = field(default_factory=dict)
+    #: encoded wire size per (rank, seq) — retransmissions reuse it, so a
+    #: redelivered batch is accounted at exactly its original size
+    _encoded: dict[tuple[int, int], int] = field(default_factory=dict)
 
     @property
     def batch_period_us(self) -> float:
         return self.server.batch_period_us
+
+    def _encoded_size(self, rank: int, summaries: tuple | list) -> int:
+        """Wire size of the batch under the spool codec (headers + group
+        definition frames included) — what ``bytes_received`` accounts."""
+        sent = self._sent_groups.setdefault(rank, {""})
+        size = 0
+        for s in summaries:
+            if s.group not in sent:
+                sent.add(s.group)
+                size += _FRAME_HEADER.size + _GROUP_LEN.size + len(s.group.encode("utf-8"))
+            size += _FRAME_HEADER.size + _RECORD.size
+        return size
 
     # -- rank side ---------------------------------------------------------
 
@@ -309,6 +361,7 @@ class ReliableTransport:
         seq = self._next_seq.get(rank, 0)
         self._next_seq[rank] = seq + 1
         payload = tuple(summaries)
+        self._encoded[(rank, seq)] = self._encoded_size(rank, payload)
         self.channel.send(rank, seq, payload, self.clock)
         self._pending[(rank, seq)] = _Pending(
             rank=rank, seq=seq, payload=payload, attempts=1,
@@ -331,7 +384,10 @@ class ReliableTransport:
         self.clock = max(self.clock, now)
         for envelope in self.channel.deliver_due(self.clock):
             accepted = self.server.receive_batch(
-                envelope.rank, list(envelope.payload), seq=envelope.seq
+                envelope.rank,
+                list(envelope.payload),
+                seq=envelope.seq,
+                encoded_bytes=self._encoded.get((envelope.rank, envelope.seq)),
             )
             if not accepted:
                 self.channel.stats.late += 1

@@ -44,7 +44,12 @@ class VSensorRuntime(RuntimeHooks):
 
     def __post_init__(self) -> None:
         if self.server is None:
-            self.server = AnalysisServer(n_ranks=self.n_ranks)
+            enabled = self.obs.enabled
+            self.server = AnalysisServer(
+                n_ranks=self.n_ranks,
+                metrics=self.obs.metrics if enabled else None,
+                obs=self.obs if enabled else None,
+            )
 
     # -- hook interface ----------------------------------------------------
 

@@ -80,11 +80,30 @@ def _scenario_fwq_micro():
     return dict(source=fwq.source(scale=1), machine=_machine(n_ranks=2), engine="bytecode")
 
 
+def _scenario_live_interleaved():
+    # Interleaved ingest/query: the live reporter pulls matrices while
+    # batches are still arriving, so the trace pins the columnar server's
+    # per-epoch ``server.replay`` spans and replay-kind counters.
+    from repro.runtime.live import LiveReporter
+
+    # Periods tuned to the micro-program's ~1.8 ms virtual runtime so the
+    # trace shows both replay kinds (incremental roll-forward and full
+    # re-sort) under interleaving.
+    return dict(
+        source=SIMPLE_SOURCE,
+        machine=_machine(),
+        engine="bytecode",
+        batch_period_us=1000.0,
+        live=LiveReporter(period_us=500.0),
+    )
+
+
 SCENARIOS = {
     "simple_bytecode": _scenario_simple_bytecode,
     "simple_ast": _scenario_simple_ast,
     "lossy_channel": _scenario_lossy_channel,
     "fwq_micro": _scenario_fwq_micro,
+    "live_interleaved": _scenario_live_interleaved,
 }
 
 

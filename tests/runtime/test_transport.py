@@ -77,7 +77,9 @@ def test_multiple_ranks_separate_spools(tmp_path):
 
 class _CapturingServer(AnalysisServer):
     """Records every ingested summary (AnalysisServer uses slots, so the
-    capture must be a subclass override, not a monkeypatch)."""
+    capture must be a subclass override, not a monkeypatch).  The hook
+    only exists on the reference engine's per-object ingest path, so
+    instances are built with ``engine="reference"``."""
 
     captured: list = []
 
@@ -90,7 +92,7 @@ def test_cache_miss_quantization_error_small(tmp_path):
     spool = FileSpool(directory=str(tmp_path))
     spool.append_batch(0, [summary(0, 0, 10.0, miss=0.333)])
     _CapturingServer.captured = []
-    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    server = _CapturingServer(n_ranks=1, window_us=1000.0, engine="reference")
     spool.drain_into(server)
     assert _CapturingServer.captured[0].mean_cache_miss == pytest.approx(0.333, abs=1e-4)
 
@@ -99,7 +101,7 @@ def test_group_interning_round_trip(tmp_path):
     spool = FileSpool(directory=str(tmp_path))
     spool.append_batch(0, [summary(0, 0, 10.0, group="H"), summary(0, 1, 12.0, group="L")])
     _CapturingServer.captured = []
-    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    server = _CapturingServer(n_ranks=1, window_us=1000.0, engine="reference")
     spool.drain_into(server)
     assert [s.group for s in _CapturingServer.captured] == ["H", "L"]
 
@@ -116,7 +118,7 @@ def test_group_interning_survives_fresh_reader(tmp_path):
 
     reader = FileSpool(directory=str(tmp_path))
     _CapturingServer.captured = []
-    server = _CapturingServer(n_ranks=2, window_us=1000.0)
+    server = _CapturingServer(n_ranks=2, window_us=1000.0, engine="reference")
     assert reader.drain_into(server) == 4
     by_rank = sorted((s.rank, s.slice_index, s.group) for s in _CapturingServer.captured)
     assert by_rank == [(0, 0, "H"), (0, 1, "L"), (0, 2, "H"), (1, 0, "L")]
@@ -128,7 +130,7 @@ def test_fresh_reader_between_incremental_drains(tmp_path):
     writer = FileSpool(directory=str(tmp_path))
     writer.append_batch(0, [summary(0, 0, 10.0, group="band9")])
     reader = FileSpool(directory=str(tmp_path))
-    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    server = _CapturingServer(n_ranks=1, window_us=1000.0, engine="reference")
     _CapturingServer.captured = []
     assert reader.drain_into(server) == 1
     writer.append_batch(0, [summary(0, 1, 10.0, group="band9")])
@@ -145,7 +147,7 @@ def test_count_saturates_at_u16(tmp_path):
     spool = FileSpool(directory=str(tmp_path))
     spool.append_batch(0, [dataclasses.replace(summary(0, 0, 10.0), count=100_000)])
     _CapturingServer.captured = []
-    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    server = _CapturingServer(n_ranks=1, window_us=1000.0, engine="reference")
     spool.drain_into(server)
     assert _CapturingServer.captured[0].count == 0xFFFF
 
@@ -164,7 +166,7 @@ def test_cache_miss_u16_quantization_bound(tmp_path):
         ],
     )
     _CapturingServer.captured = []
-    server = _CapturingServer(n_ranks=1, window_us=1000.0)
+    server = _CapturingServer(n_ranks=1, window_us=1000.0, engine="reference")
     spool.drain_into(server)
     for original, decoded in zip(rates, _CapturingServer.captured):
         clamped = min(max(original, 0.0), 1.0)
@@ -186,7 +188,7 @@ def test_truncated_tail_does_not_corrupt_next_drain(tmp_path):
     for cut in range(1, len(full)):
         reader = FileSpool(directory=str(tmp_path))
         _CapturingServer.captured = []
-        server = _CapturingServer(n_ranks=1, window_us=1000.0)
+        server = _CapturingServer(n_ranks=1, window_us=1000.0, engine="reference")
         with open(path, "wb") as fh:
             fh.write(full[:cut])
         reader.drain_into(server)
@@ -294,7 +296,7 @@ def test_reliable_transport_dedupes_channel_duplicates():
     assert server.duplicate_batches > 0
     assert server.duplicate_summaries == 0, "duplicates die at the seq watermark"
     # Every unique summary arrived exactly once in effect.
-    assert len(server._store) == 12
+    assert server.stored_summaries == 12
 
 
 def test_reliable_transport_gives_up_and_marks_degraded():
