@@ -1,14 +1,16 @@
-"""Interpreter-tier performance trajectory: AST reference vs bytecode VM.
+"""Interpreter-tier performance trajectory: AST vs bytecode vs lockstep.
 
 Times uninstrumented and instrumented runs of CG / FT / LULESH at
-8 / 32 / 128 ranks under both engine tiers and writes the measurements to
-``BENCH_interp.json`` at the repo root — the start of a recorded benchmark
-trajectory, so hot-loop regressions show up as data rather than anecdotes.
+8 / 32 / 128 ranks under all three engine tiers and writes the measurements
+to ``BENCH_interp.json`` at the repo root — the start of a recorded
+benchmark trajectory, so hot-loop regressions show up as data rather than
+anecdotes.
 
-The shape this pins: the bytecode tier wins everywhere, and by ≥3× on the
-128-rank CG configuration (the Fig. 21 bad-node scale).  Noise-draw caches
-are cleared before every timed run so neither tier benefits from the
-other's warm-up.
+The shape this pins: the bytecode tier beats the AST reference everywhere,
+and by ≥3× on the 128-rank CG configuration (the Fig. 21 bad-node scale);
+the lockstep SIMD-over-ranks tier beats bytecode by ≥5× on that same
+configuration, where one fetch serves 128 lanes.  Noise-draw caches are
+cleared before every timed run so no tier benefits from another's warm-up.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ from repro.workloads import all_workloads
 
 PROGRAMS = ["CG", "FT", "LULESH"]
 RANK_COUNTS = [8, 32, 128]
-ENGINES = ["ast", "bytecode"]
+ENGINES = ["ast", "bytecode", "lockstep"]
 JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_interp.json")
 
 
@@ -73,33 +75,51 @@ def test_interp_tier_trajectory():
         raise KeyError((name, ranks, mode, engine))
 
     speedups = {}
+    lockstep_speedups = {}
     for name in PROGRAMS:
         for n_ranks in RANK_COUNTS:
             for mode in ("uninstrumented", "instrumented"):
                 ast_s = seconds_of(name, n_ranks, mode, "ast")
                 bc_s = seconds_of(name, n_ranks, mode, "bytecode")
+                ls_s = seconds_of(name, n_ranks, mode, "lockstep")
                 speedups[f"{name}@{n_ranks}/{mode}"] = round(ast_s / bc_s, 2)
+                lockstep_speedups[f"{name}@{n_ranks}/{mode}"] = round(bc_s / ls_s, 2)
 
     payload = {
-        "benchmark": "interpreter tier: AST reference vs bytecode VM",
+        "benchmark": "interpreter tier: AST reference vs bytecode VM vs lockstep",
         "unit": "wall-clock seconds per full simulation",
         "results": rows,
         "speedups": speedups,
+        "lockstep_speedups": lockstep_speedups,
     }
     write_payload(JSON_PATH, payload)
 
-    print(f"\n{'config':<28s} {'ast':>8s} {'bytecode':>9s} {'speedup':>8s}")
-    for key, speedup in speedups.items():
+    print(
+        f"\n{'config':<28s} {'ast':>8s} {'bytecode':>9s} {'lockstep':>9s}"
+        f" {'bc/ast':>7s} {'ls/bc':>7s}"
+    )
+    for key in speedups:
         name, rest = key.split("@")
         ranks, mode = rest.split("/")
         ast_s = seconds_of(name, int(ranks), mode, "ast")
         bc_s = seconds_of(name, int(ranks), mode, "bytecode")
-        print(f"{key:<28s} {ast_s:>8.2f} {bc_s:>9.2f} {speedup:>7.2f}x")
+        ls_s = seconds_of(name, int(ranks), mode, "lockstep")
+        print(
+            f"{key:<28s} {ast_s:>8.2f} {bc_s:>9.2f} {ls_s:>9.2f}"
+            f" {speedups[key]:>6.2f}x {lockstep_speedups[key]:>6.2f}x"
+        )
 
-    # The acceptance gate: ≥3× on the 128-rank CG configuration.
+    # The acceptance gates on the 128-rank CG configuration: bytecode ≥3×
+    # over the AST reference, lockstep ≥5× over bytecode.
     assert speedups["CG@128/uninstrumented"] >= 3.0
-    # And the bytecode tier should win every configuration outright.
+    assert lockstep_speedups["CG@128/uninstrumented"] >= 5.0
+    # And the bytecode tier should beat the AST reference everywhere; the
+    # lockstep tier must win wherever the rank axis is wide enough to pay
+    # for vectorization (the 128-rank configurations).
     assert all(s > 1.0 for s in speedups.values())
+    assert all(
+        s > 1.0 for k, s in lockstep_speedups.items() if "@128/" in k
+    )
 
 
 if __name__ == "__main__":

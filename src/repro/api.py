@@ -174,6 +174,12 @@ def run_vsensor(
     the two are bit-identical, the reference tier exists for differential
     testing.
 
+    ``engine`` selects the simulator's interpreter tier: ``"bytecode"``
+    (default; compiled register VM), ``"ast"`` (tree-walking reference) or
+    ``"lockstep"`` (SIMD-over-ranks vectorized VM — one fetch per
+    instruction applied to every rank's lane at once, with diverging ranks
+    drained onto per-rank interpreters).  All tiers are bit-identical.
+
     ``store`` is forwarded to :func:`compile_and_instrument`.
 
     ``obs`` attaches an observability bundle (:mod:`repro.obs`): compile /

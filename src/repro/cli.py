@@ -96,6 +96,23 @@ def _print_pass_profile(static) -> None:
     print(static.profile.format_table())
 
 
+def _print_fusability(module) -> None:
+    """Lockstep-tier fusability tally of the compiled instrumented program."""
+    from repro.sensors.extern import default_extern_registry
+    from repro.sim.bytecode import compile_module, fusability_summary
+
+    counts = fusability_summary(compile_module(module, default_extern_registry()))
+    fusable = sum(counts.get(k, 0) for k in ("vector", "branch", "call"))
+    convergence = sum(counts.get(k, 0) for k in ("rendezvous", "observe"))
+    forced = counts.get("diverge", 0)
+    detail = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print("\nlockstep fusability (bytecode instructions):")
+    print(
+        f"   fusable={fusable} convergence-points={convergence}"
+        f" forced-divergence={forced}  ({detail})"
+    )
+
+
 def cmd_identify(args) -> int:
     source = _load_source(args)
     static = compile_and_instrument(
@@ -119,6 +136,7 @@ def cmd_identify(args) -> int:
             print("\ndropped sensors (select/instrument):")
             for diag in later:
                 print(f"   {diag.format()}")
+        _print_fusability(static.program.module)
     if args.profile_passes:
         _print_pass_profile(static)
     return 0
@@ -287,9 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--engine",
-        choices=("bytecode", "ast"),
+        choices=("bytecode", "ast", "lockstep"),
         default="bytecode",
-        help="interpreter tier: compiled register VM (default) or the AST reference",
+        help="interpreter tier: compiled register VM (default), the AST "
+        "reference, or the SIMD-over-ranks lockstep VM",
     )
     p_run.add_argument(
         "--analysis-engine",

@@ -22,7 +22,11 @@ unchanged, and the two tiers produce bit-identical results.
 """
 
 from repro.sim.bytecode.compiler import FuncCode, ProgramCode, compile_module
-from repro.sim.bytecode.disasm import disassemble, disassemble_function
+from repro.sim.bytecode.disasm import (
+    disassemble,
+    disassemble_function,
+    fusability_summary,
+)
 from repro.sim.bytecode.vm import UNDEF, BytecodeInterp
 
 __all__ = [
@@ -33,4 +37,5 @@ __all__ = [
     "compile_module",
     "disassemble",
     "disassemble_function",
+    "fusability_summary",
 ]

@@ -64,6 +64,10 @@ class FuncCode:
     local_names: tuple
     #: pc -> source name, consulted only on error paths and by the disassembler
     names: dict
+    #: pc of a structured conditional jump -> ("if" | "loop", merge_pc, head_pc)
+    #: — the reconvergence metadata the lockstep tier's mask frames run on.
+    #: ``head_pc`` is -1 for ifs; for loops it is the loop-header pc.
+    cf: dict
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,6 +171,7 @@ class _FuncCompiler:
 
         self.out: list = []          # emitted items: lists [op,a,b,c] or _Label
         self.out_names: list = []    # parallel source names (None when n/a)
+        self.out_cf: list = []       # parallel cf tags: (kind, merge, head) or None
         self.consts: dict = {}       # (typename, value) -> const idx
         self.const_values: list = []
         self.n_temps = 0
@@ -180,11 +185,13 @@ class _FuncCompiler:
     def emit(self, op, a=None, b=None, c=None, name=None) -> None:
         self.out.append([op, a, b, c])
         self.out_names.append(name)
+        self.out_cf.append(None)
 
     def bind(self, label: _Label) -> None:
         self.flush_charges()
         self.out.append(label)
         self.out_names.append(None)
+        self.out_cf.append(None)
 
     def add_cost(self, units: float) -> None:
         doubled = units * 2.0
@@ -470,7 +477,11 @@ class _FuncCompiler:
             self.add_cost(COST_BRANCH)
             cond = self.compile_expr(stmt.cond)
             else_label, end_label = _Label(), _Label()
-            self.emit_jf(cond, else_label if stmt.else_body is not None else end_label)
+            self.emit_jf(
+                cond,
+                else_label if stmt.else_body is not None else end_label,
+                cf=("if", end_label, None),
+            )
             before = set(self.defined)
             self.compile_stmt(stmt.then_body)
             after_then = self.defined
@@ -495,7 +506,7 @@ class _FuncCompiler:
             self.add_cost(COST_BRANCH)
             if stmt.cond is not None:
                 cond = self.compile_expr(stmt.cond)
-                self.emit_jf(cond, end)
+                self.emit_jf(cond, end, cf=("loop", end, head))
             self.loops.append([step_label, end, []])
             if stmt.body is not None:
                 self.compile_stmt(stmt.body)
@@ -517,7 +528,7 @@ class _FuncCompiler:
             self._tmp = 0
             self.add_cost(COST_BRANCH)
             cond = self.compile_expr(stmt.cond)
-            self.emit_jf(cond, end)
+            self.emit_jf(cond, end, cf=("loop", end, head))
             self.loops.append([head, end, []])
             if stmt.body is not None:
                 self.compile_stmt(stmt.body)
@@ -585,9 +596,10 @@ class _FuncCompiler:
         else:
             self.emit(ops.STIDX, arr, idx, value, name=target.name)
 
-    def emit_jf(self, cond, label: _Label) -> None:
+    def emit_jf(self, cond, label: _Label, cf=None) -> None:
         self.flush_charges()
         self.emit(ops.JF, cond, label)
+        self.out_cf[-1] = cf
 
     # -- finalize -----------------------------------------------------------
 
@@ -621,12 +633,16 @@ class _FuncCompiler:
                 pc += 1
         code = []
         names: dict[int, str] = {}
-        for item, src_name in zip(self.out, self.out_names):
+        cf: dict[int, tuple] = {}
+        for item, src_name, src_cf in zip(self.out, self.out_names, self.out_cf):
             if isinstance(item, _Label):
                 continue
             op, a, b, c = item
             if src_name is not None:
                 names[len(code)] = src_name
+            if src_cf is not None:
+                kind, merge, head = src_cf
+                cf[len(code)] = (kind, merge.pc, head.pc if head is not None else -1)
             code.append((op, remap(a), remap(b), remap(c)))
 
         from repro.sim.bytecode.vm import UNDEF
@@ -640,6 +656,7 @@ class _FuncCompiler:
             n_locals=n_locals,
             local_names=tuple(self.local_names),
             names=names,
+            cf=cf,
         )
 
     def _peephole(self) -> None:
@@ -650,7 +667,7 @@ class _FuncCompiler:
         registers), so ``CMP t / CHARGE n / JF t`` becomes
         ``CHARGE n / J??_F``.
         """
-        out, out_names = self.out, self.out_names
+        out, out_names, out_cf = self.out, self.out_names, self.out_cf
 
         def is_temp(v):
             return isinstance(v, tuple) and len(v) == 2 and v[0] == "t"
@@ -675,9 +692,13 @@ class _FuncCompiler:
                 j += 1
             nxt = out[j]
             if not isinstance(nxt, _Label) and nxt[0] == ops.JF and nxt[1] == cur[1]:
+                # The fused op replaces the JF in place, so the JF's cf tag
+                # (at index j) survives untouched; only the compare's slot
+                # (always untagged) is deleted.
                 out[j] = [fused, cur[2], cur[3], nxt[2]]
                 out_names[j] = out_names[i]
                 del out[i]
                 del out_names[i]
+                del out_cf[i]
                 continue
             i += 1

@@ -2,11 +2,29 @@
 
 Output is deterministic (extern models and math callables are printed by
 name, never by object repr) so golden tests can pin it exactly.
+
+With ``fuse=True`` each instruction is additionally annotated with its
+lockstep fusability class (see :mod:`repro.sim.bytecode.dispatch`): whether
+the SIMD-over-ranks tier can execute it under a lane mask, needs the whole
+batch converged, or must drain diverged lanes onto scalar interpreters.
 """
 
 from __future__ import annotations
 
 from repro.sim.bytecode import ops
+from repro.sim.bytecode.dispatch import (
+    FUSE_DIVERGE,
+    FUSE_OBSERVE,
+    FUSE_RENDEZVOUS,
+    fuse_class,
+)
+
+#: fusability class -> short listing annotation
+_FUSE_NOTES = {
+    FUSE_RENDEZVOUS: "convergence point (MPI rendezvous)",
+    FUSE_OBSERVE: "convergence point (observes clock/hooks)",
+    FUSE_DIVERGE: "forced divergence (drains lanes)",
+}
 
 
 def _fmt(value) -> str:
@@ -24,8 +42,13 @@ def _fmt(value) -> str:
     return repr(value)  # pragma: no cover - no other operand kinds exist
 
 
-def disassemble_function(fc) -> str:
-    """One function's listing: header, register map, instructions."""
+def disassemble_function(fc, fuse: bool = False) -> str:
+    """One function's listing: header, register map, instructions.
+
+    ``fuse=True`` appends each instruction's lockstep fusability class
+    (``[vector]``, ``[rendezvous]``, …) plus a note on the classes that
+    interrupt fused execution, and a per-function tally line.
+    """
     header = (
         f"func {fc.name}  "
         f"(locals={fc.n_locals} regs={len(fc.proto)} insns={len(fc.code)})"
@@ -41,10 +64,37 @@ def disassemble_function(fc) -> str:
         )
         note = fc.names.get(pc)
         suffix = f"   ; {note}" if note else ""
+        if fuse:
+            cls = fuse_class(op) or "?"
+            extra = _FUSE_NOTES.get(cls)
+            tail = f" — {extra}" if extra else ""
+            suffix += f"   ; [{cls}]{tail}"
         lines.append(f"  {pc:4d}  {mnemonic:<8s} {operands}{suffix}")
+    if fuse:
+        counts = fusability_counts(fc.code)
+        tally = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        lines.append(f"  ; fusability: {tally}")
     return "\n".join(lines)
 
 
-def disassemble(program) -> str:
+def disassemble(program, fuse: bool = False) -> str:
     """Listing for every function of a compiled program."""
-    return "\n\n".join(disassemble_function(fc) for fc in program.funcs)
+    return "\n\n".join(disassemble_function(fc, fuse=fuse) for fc in program.funcs)
+
+
+def fusability_counts(code) -> dict[str, int]:
+    """Instruction tally per lockstep fusability class for one code tuple."""
+    counts: dict[str, int] = {}
+    for op, _a, _b, _c in code:
+        cls = fuse_class(op) or "?"
+        counts[cls] = counts.get(cls, 0) + 1
+    return counts
+
+
+def fusability_summary(program) -> dict[str, int]:
+    """Whole-program fusability tally (sum of every function's counts)."""
+    totals: dict[str, int] = {}
+    for fc in program.funcs:
+        for cls, n in fusability_counts(fc.code).items():
+            totals[cls] = totals.get(cls, 0) + n
+    return totals

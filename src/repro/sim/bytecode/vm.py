@@ -5,9 +5,9 @@ One :class:`BytecodeInterp` per rank, all sharing one read-only
 :class:`~repro.sim.interp.RankInterp` so the clock, PMU, RNG, probe and IO
 machinery — everything observable — is literally the same object code as
 the AST tier; only statement/expression execution is replaced by the
-dispatch loop below.
+dispatch core generated from :data:`repro.sim.bytecode.dispatch.OP_TABLE`.
 
-The loop keeps the hot half-unit work counters (``pend_h`` / ``tot_h``) in
+The core keeps the hot half-unit work counters (``pend_h`` / ``tot_h``) in
 Python locals and mirrors them into the inherited ``_pending_half`` /
 ``_total_half`` attributes around every call that might read or reset them
 (flushes, probes, IO).  Residual (non-half-unit) charges go straight to
@@ -16,25 +16,18 @@ must be applied in program order.
 
 The generator protocol is the AST tier's: MPI rendezvous yields an
 :class:`~repro.sim.interp.MpiRequest` and receives the completion time.
+Because the core runs off an explicit :class:`ScalarState`, execution can
+also *start mid-program*: the lockstep tier drains diverged lanes by
+handing a materialized state to :meth:`BytecodeInterp.resume`.
 """
 
 from __future__ import annotations
 
 from repro.errors import InterpError
-from repro.sim.bytecode import ops
-from repro.sim.interp import MpiRequest, RankInterp
+from repro.sim.bytecode.dispatch import DISPATCH_CORE, UNDEF, ScalarState, _Undef
+from repro.sim.interp import RankInterp
 
-
-class _Undef:
-    """Sentinel for a local slot that has not been written yet."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "UNDEF"
-
-
-UNDEF = _Undef()
+__all__ = ["BytecodeInterp", "ScalarState", "UNDEF", "_Undef"]
 
 
 class BytecodeInterp(RankInterp):
@@ -66,315 +59,38 @@ class BytecodeInterp(RankInterp):
                 glist.append(0.0 if gv.var_type == "float" else 0)
         return glist
 
-    def run(self):  # noqa: C901 - the dispatch ladder is one deliberate unit
+    #: generated dispatch loop — ``def _dispatch_core(self, state)`` generator
+    _dispatch_core = DISPATCH_CORE
+
+    def run(self):
         """Generator: yields MpiRequest; receives completion times."""
         program = self.program
         entry_idx = program.func_index.get(self.entry)
         if entry_idx is None:
             raise InterpError(f"no entry function {self.entry!r}")
-        glist = self._init_globals_list()
+        fc = program.funcs[entry_idx]
+        state = ScalarState(
+            glist=self._init_globals_list(),
+            fc=fc,
+            code=fc.code,
+            regs=list(fc.proto),
+            pc=0,
+            stack=[],
+            trace=self.hooks.wants_function_events,
+        )
+        if state.trace:
+            self.hooks.on_func_enter(self.rank, fc.name, self.clock.now)
+        yield from self._dispatch_core(state)
 
-        # Local aliases for the dispatch loop.
-        funcs = program.funcs
-        func_index = program.func_index
-        rank = self.rank
-        clock = self.clock
-        hooks = self.hooks
-        rng = self._rng
-        undef = UNDEF
-        nmod = max(1, self.n_ranks)
-        pend_h = self._pending_half
-        tot_h = self._total_half
+    def resume(self, state: ScalarState):
+        """Run the dispatch core from an arbitrary materialized ``state``.
 
-        fc = funcs[entry_idx]
-        code = fc.code
-        regs = list(fc.proto)
-        pc = 0
-        trace = hooks.wants_function_events
-        if trace:
-            hooks.on_func_enter(rank, fc.name, clock.now)
-        stack = []  # saved caller frames: (code, regs, pc, dst, fc, trace)
-
-        while True:
-            op, a, b, c = code[pc]
-            pc += 1
-            if op == ops.CHARGE:
-                pend_h += a
-                tot_h += a
-            elif op == ops.MOVE:
-                regs[a] = regs[b]
-            elif op == ops.ADD:
-                regs[a] = regs[b] + regs[c]
-            elif op == ops.SUB:
-                regs[a] = regs[b] - regs[c]
-            elif op == ops.MUL:
-                regs[a] = regs[b] * regs[c]
-            elif op == ops.INDEX:
-                arr = regs[b]
-                if type(arr) is not list:
-                    self._bad_array(fc, pc - 1)
-                regs[a] = arr[int(regs[c]) % len(arr)]
-            elif op == ops.INDEXG:
-                arr = glist[b]
-                if type(arr) is not list:
-                    self._bad_array(fc, pc - 1)
-                regs[a] = arr[int(regs[c]) % len(arr)]
-            elif op == ops.STIDX:
-                arr = regs[a]
-                if type(arr) is not list:
-                    self._bad_array(fc, pc - 1)
-                arr[int(regs[b]) % len(arr)] = regs[c]
-            elif op == ops.STIDXG:
-                arr = glist[a]
-                if type(arr) is not list:
-                    self._bad_array(fc, pc - 1)
-                arr[int(regs[b]) % len(arr)] = regs[c]
-            elif op == ops.JLT_F:
-                if not (regs[a] < regs[b]):
-                    pc = c
-            elif op == ops.JLE_F:
-                if not (regs[a] <= regs[b]):
-                    pc = c
-            elif op == ops.JGT_F:
-                if not (regs[a] > regs[b]):
-                    pc = c
-            elif op == ops.JGE_F:
-                if not (regs[a] >= regs[b]):
-                    pc = c
-            elif op == ops.JEQ_F:
-                if not (regs[a] == regs[b]):
-                    pc = c
-            elif op == ops.JNE_F:
-                if not (regs[a] != regs[b]):
-                    pc = c
-            elif op == ops.JUMP:
-                pc = a
-            elif op == ops.JF:
-                if not regs[a]:
-                    pc = b
-            elif op == ops.JT:
-                if regs[a]:
-                    pc = b
-            elif op == ops.CU:
-                units = max(0.0, float(regs[a])) if a >= 0 else 0.0
-                doubled = units + units
-                if doubled < 1e15 and doubled == int(doubled):
-                    n = int(doubled)
-                    pend_h += n
-                    tot_h += n
-                else:
-                    self._pending_frac += units
-                    self._total_frac += units
-            elif op == ops.DIV:
-                left = regs[b]
-                right = regs[c]
-                if right == 0:
-                    regs[a] = 0
-                elif type(left) is int and type(right) is int:
-                    regs[a] = (
-                        left // right
-                        if (left >= 0) == (right >= 0)
-                        else -((-left) // right)
-                    )
-                else:
-                    regs[a] = left / right
-            elif op == ops.MOD:
-                right = regs[c]
-                regs[a] = regs[b] % right if right != 0 else 0
-            elif op == ops.LT:
-                regs[a] = 1 if regs[b] < regs[c] else 0
-            elif op == ops.LE:
-                regs[a] = 1 if regs[b] <= regs[c] else 0
-            elif op == ops.GT:
-                regs[a] = 1 if regs[b] > regs[c] else 0
-            elif op == ops.GE:
-                regs[a] = 1 if regs[b] >= regs[c] else 0
-            elif op == ops.EQ:
-                regs[a] = 1 if regs[b] == regs[c] else 0
-            elif op == ops.NE:
-                regs[a] = 1 if regs[b] != regs[c] else 0
-            elif op == ops.ANDL:
-                regs[a] = 1 if (regs[b] and regs[c]) else 0
-            elif op == ops.ORL:
-                regs[a] = 1 if (regs[b] or regs[c]) else 0
-            elif op == ops.NEG:
-                regs[a] = -regs[b]
-            elif op == ops.NOTL:
-                regs[a] = 0 if regs[b] else 1
-            elif op == ops.LOADG:
-                regs[a] = glist[b]
-            elif op == ops.STOREG:
-                glist[a] = regs[b]
-            elif op == ops.CHKDEF:
-                if regs[a] is undef:
-                    raise InterpError(
-                        f"rank {rank}: read of undefined variable "
-                        f"{fc.names.get(pc - 1, '?')!r}"
-                    )
-            elif op == ops.LOADX:
-                value = regs[b]
-                regs[a] = glist[c] if value is undef else value
-            elif op == ops.STOREX:
-                if regs[a] is undef:
-                    glist[b] = regs[c]
-                else:
-                    regs[a] = regs[c]
-            elif op == ops.NEWARR:
-                regs[a] = [c] * b
-            elif op == ops.MATHOP:
-                pend_h += 4
-                tot_h += 4
-                try:
-                    regs[a] = b(*[regs[i] for i in c])
-                except (ValueError, OverflowError):
-                    regs[a] = 0.0
-            elif op == ops.CALL:
-                callee = funcs[b]
-                nregs = list(callee.proto)
-                n_args = len(c)
-                for i, slot in enumerate(callee.param_slots):
-                    nregs[slot] = regs[c[i]] if i < n_args else 0
-                stack.append((code, regs, pc, a, fc, trace))
-                fc = callee
-                code = callee.code
-                regs = nregs
-                pc = 0
-                trace = hooks.wants_function_events
-                if trace:
-                    hooks.on_func_enter(rank, fc.name, clock.now)
-            elif op == ops.RET or op == ops.RETK:
-                value = regs[a] if op == ops.RET else a
-                if trace:
-                    hooks.on_func_exit(rank, fc.name, clock.now)
-                if not stack:
-                    break
-                code, regs, pc, dst, fc, trace = stack.pop()
-                regs[dst] = value
-            elif op == ops.RANKOP:
-                self._pending_frac += 0.1
-                self._total_frac += 0.1
-                regs[a] = rank
-            elif op == ops.SIZEOP:
-                self._pending_frac += 0.1
-                self._total_frac += 0.1
-                regs[a] = self.n_ranks
-            elif op == ops.WTIME:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                self._flush()
-                pend_h = 0
-                regs[a] = clock.now
-            elif op == ops.COLL:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                self._flush()
-                pend_h = 0
-                engine_op, spelled = b
-                size = float(regs[c]) if c >= 0 else 0.0
-                t0 = clock.now
-                hooks.on_mpi_begin(rank, spelled, t0)
-                completion = yield MpiRequest(
-                    rank=rank, op=engine_op, size=size, peer=-1, arrive=t0
-                )
-                clock.wait_until(completion)
-                hooks.on_mpi_end(rank, spelled, t0, clock.now, size)
-                regs[a] = 0
-            elif op == ops.P2P:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                self._flush()
-                pend_h = 0
-                engine_op, spelled = b
-                peer_reg, size_reg = c
-                peer = (int(regs[peer_reg]) if peer_reg >= 0 else 0) % nmod
-                size = float(regs[size_reg]) if size_reg >= 0 else 0.0
-                t0 = clock.now
-                hooks.on_mpi_begin(rank, spelled, t0)
-                completion = yield MpiRequest(
-                    rank=rank, op=engine_op, size=size, peer=peer, arrive=t0
-                )
-                clock.wait_until(completion)
-                hooks.on_mpi_end(rank, spelled, t0, clock.now, size)
-                regs[a] = 0
-            elif op == ops.TICKOP:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                self._probe_tick(int(regs[a]))
-                pend_h = self._pending_half
-                tot_h = self._total_half
-            elif op == ops.TOCKOP:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                self._probe_tock(int(regs[a]))
-                pend_h = self._pending_half
-                tot_h = self._total_half
-            elif op == ops.IOOP:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                size = float(regs[c]) if c >= 0 else 1.0
-                self._io_op(b, size)
-                pend_h = 0
-                regs[a] = 0
-            elif op == ops.RANDOP:
-                pend_h += 1
-                tot_h += 1
-                regs[a] = int(rng.integers(0, 2**31 - 1))
-            elif op == ops.CLOCKOP:
-                self._pending_half = pend_h
-                self._total_half = tot_h
-                self._flush()
-                pend_h = 0
-                regs[a] = int(clock.now)
-            elif op == ops.HOSTOP:
-                pend_h += 1
-                tot_h += 1
-                regs[a] = clock.node.node_id
-            elif op == ops.RESFP:
-                slot, gidx = b
-                value = None
-                if slot >= 0:
-                    value = regs[slot]
-                    if value is undef:
-                        value = glist[gidx] if gidx >= 0 else None
-                elif gidx >= 0:
-                    value = glist[gidx]
-                regs[a] = (
-                    func_index.get(value, -1) if type(value) is str else -1
-                )
-            elif op == ops.CALLIND:
-                target = regs[b]
-                meta, arg_regs = c
-                if target >= 0:
-                    callee = funcs[target]
-                    nregs = list(callee.proto)
-                    n_args = len(arg_regs)
-                    for i, slot in enumerate(callee.param_slots):
-                        nregs[slot] = regs[arg_regs[i]] if i < n_args else 0
-                    stack.append((code, regs, pc, a, fc, trace))
-                    fc = callee
-                    code = callee.code
-                    regs = nregs
-                    pc = 0
-                    trace = hooks.wants_function_events
-                    if trace:
-                        hooks.on_func_enter(rank, fc.name, clock.now)
-                else:
-                    pend_h, tot_h = self._extern(
-                        meta, [regs[i] for i in arg_regs], pend_h, tot_h
-                    )
-                    regs[a] = 0
-            elif op == ops.EXTCALL:
-                pend_h, tot_h = self._extern(
-                    b, [regs[i] for i in c], pend_h, tot_h
-                )
-                regs[a] = 0
-            else:  # pragma: no cover - compiler never emits unknown ops
-                raise InterpError(f"bad opcode {op}")
-
-        self._pending_half = pend_h
-        self._total_half = tot_h
-        self._flush()
-        hooks.on_program_end(rank, clock.now)
+        Used by the lockstep tier to drain a diverged lane: the fused VM
+        extracts the lane's registers/stack/pc into a :class:`ScalarState`
+        and this rank's clock/PMU/RNG (shared with the fused batch the
+        whole time) carry on exactly where the vectors left off.
+        """
+        return self._dispatch_core(state)
 
     # -- cold paths ---------------------------------------------------------
 

@@ -24,8 +24,12 @@ change any rank's clock, the match count, or any hook payload.
 
 The interpreter tier is selectable: ``engine="bytecode"`` (default) runs
 the compiled register VM (:mod:`repro.sim.bytecode`); ``engine="ast"``
-runs the tree-walking reference interpreter.  Both produce bit-identical
-results; the AST tier is kept as the executable specification.
+runs the tree-walking reference interpreter; ``engine="lockstep"`` runs
+the SIMD-over-ranks vectorized VM (:mod:`repro.sim.lockstep`), which
+fetches each instruction once for the whole fused rank batch and drains
+diverging ranks onto per-rank bytecode interpreters.  All tiers produce
+bit-identical results; the AST tier is kept as the executable
+specification.
 """
 
 from __future__ import annotations
@@ -84,8 +88,8 @@ class Simulator:
         engine: str = "bytecode",
         obs: Obs | None = None,
     ) -> None:
-        if engine not in ("bytecode", "ast"):
-            raise ValueError(f"unknown engine {engine!r} (bytecode|ast)")
+        if engine not in ("bytecode", "ast", "lockstep"):
+            raise ValueError(f"unknown engine {engine!r} (bytecode|ast|lockstep)")
         self.module = module
         self.machine = machine
         self.faults = tuple(faults)
@@ -96,24 +100,31 @@ class Simulator:
         self.obs = obs or NULL_OBS
         self.network = NetworkModel(machine=machine, faults=self.faults)
         self._program_code = None  # compiled lazily, shared across runs/ranks
+        self._lockstep_runner = None  # set per run when engine="lockstep"
 
     # -- interpreter construction -------------------------------------------
 
+    def _compiled_program(self):
+        if self._program_code is None:
+            from repro.sim.bytecode import compile_module
+
+            externs = self.externs
+            if externs is None:
+                from repro.sensors.extern import default_extern_registry
+
+                externs = default_extern_registry()
+            with self.obs.tracer.span("sim.compile_bytecode"):
+                self._program_code = compile_module(self.module, externs)
+        return self._program_code
+
     def _build_interps(self, hooks: RuntimeHooks) -> list:
         n = self.machine.n_ranks
-        if self.engine == "bytecode":
-            from repro.sim.bytecode import BytecodeInterp, compile_module
+        self._lockstep_runner = None
+        if self.engine in ("bytecode", "lockstep"):
+            from repro.sim.bytecode import BytecodeInterp
 
-            if self._program_code is None:
-                externs = self.externs
-                if externs is None:
-                    from repro.sensors.extern import default_extern_registry
-
-                    externs = default_extern_registry()
-                with self.obs.tracer.span("sim.compile_bytecode"):
-                    self._program_code = compile_module(self.module, externs)
-            program = self._program_code
-            return [
+            program = self._compiled_program()
+            interps = [
                 BytecodeInterp(
                     program=program,
                     module=self.module,
@@ -128,6 +139,12 @@ class Simulator:
                 )
                 for rank in range(n)
             ]
+            if self.engine == "bytecode":
+                return interps
+            from repro.sim.lockstep import LockstepRunner
+
+            self._lockstep_runner = LockstepRunner(interps, hooks, self.obs)
+            return self._lockstep_runner.lanes()
         shared_memo: dict[int, bool] = {}
         return [
             RankInterp(
@@ -186,6 +203,7 @@ class Simulator:
             interps = self._build_interps(hooks)
         gens = [interp.run() for interp in interps]
         network = self.network
+        runner = self._lockstep_runner
         rounds = 0
 
         blocked: dict[int, MpiRequest] = {}
@@ -263,10 +281,18 @@ class Simulator:
                 break
             while groups:
                 matches += 1
-                for rank, completion in groups.popleft():
+                group = groups.popleft()
+                if runner is not None:
+                    # Let a fused lockstep batch absorb every completion in
+                    # the group before any member is resumed; this is also
+                    # where fully-drained batches re-fuse.
+                    runner.on_group(group)
+                for rank, completion in group:
                     del blocked[rank]
                     runnable.append((rank, completion))
 
+        if runner is not None:
+            runner.flush_counters()
         result = SimResult(mpi_matches=matches)
         for interp in interps:
             result.ranks.append(

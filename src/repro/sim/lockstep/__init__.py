@@ -1,0 +1,14 @@
+"""Lockstep SIMD-over-ranks execution tier (``engine="lockstep"``).
+
+One fused VM fetches each bytecode instruction once and applies it to all
+ranks' register lanes at once; per-rank virtual clocks and noise draws are
+vectorized along the rank axis.  Ranks whose control flow diverges are
+masked, and drained onto per-rank :class:`~repro.sim.bytecode.vm.BytecodeInterp`
+instances when they hit an operation that cannot run under a partial mask;
+drained lanes re-fuse at the next full-width collective.  Bit-identical to
+``engine="bytecode"`` by construction — see DESIGN.md §9.
+"""
+
+from repro.sim.lockstep.runner import LockstepRunner
+
+__all__ = ["LockstepRunner"]

@@ -12,6 +12,14 @@ Two layers, both deterministic given the machine seed:
 Episode-style disturbances (contention from an injected noiser, network
 congestion, a bad node) are *faults*, not noise — see
 :mod:`repro.sim.faults`.
+
+Draws are generated **chunked**: one numpy ``Generator`` produces a whole
+chunk of slices (or spike milliseconds) at once and the resulting arrays
+are cached.  A single scalar query and a vectorized rank-axis query
+(:meth:`NodeNoise.speed_multipliers`) read the *same* cached arrays, which
+is what makes the lockstep tier's vectorized clocks bit-identical to the
+per-rank path: there is exactly one draw per (node, slice) no matter how
+many ranks observe it or in which order.
 """
 
 from __future__ import annotations
@@ -39,14 +47,22 @@ class NoiseConfig:
     spike_duration_us: float = 300.0
 
 
+#: slices drawn per jitter chunk (power of two: chunk = k >> 9, lane = k & 511)
+_JITTER_CHUNK = 512
+#: milliseconds drawn per spike chunk
+_SPIKE_CHUNK = 256
+
 # Noise draws are pure functions of (node seed, slice index) — there is no
-# stream state — so repeated queries of the same slice (every few work units
-# while a rank computes through it) can be served from a cache instead of
-# re-building a numpy Generator each time.  Shared across NodeNoise
-# instances: ranks co-located on a node draw identical noise and hit the
-# same entries.
-_JITTER_CACHE: dict[tuple[int, int, float], float] = {}
-_SPIKE_CACHE: dict[tuple[int, int], tuple[float, float]] = {}
+# stream state — so they can be generated a chunk at a time and served from
+# a cache instead of building a numpy Generator per slice.  Shared across
+# NodeNoise instances: ranks co-located on a node draw identical noise and
+# hit the same entries.
+_JITTER_CACHE: dict[tuple[int, int, float], np.ndarray] = {}
+_SPIKE_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+#: SeedSequence stream tags separating the jitter and spike draw families
+_JITTER_TAG = 11
+_SPIKE_TAG = 13
 
 
 class NodeNoise:
@@ -61,10 +77,33 @@ class NodeNoise:
         self.config = config
         self._seed = np.uint64((seed * 1_000_003 + node_id) & 0xFFFFFFFF)
 
-    def _slice_rng(self, slice_index: int) -> np.random.Generator:
-        return np.random.default_rng(
-            np.random.SeedSequence([int(self._seed), int(slice_index) & 0x7FFFFFFFFFFF])
-        )
+    def _jitter_chunk(self, chunk: int) -> np.ndarray:
+        """Jitter multipliers for slices ``[chunk*512, (chunk+1)*512)``."""
+        sigma = self.config.jitter_sigma
+        key = (int(self._seed), chunk, sigma)
+        arr = _JITTER_CACHE.get(key)
+        if arr is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([int(self._seed), _JITTER_TAG, chunk])
+            )
+            # Lognormal centred slightly below 1: noise only ever slows.
+            arr = np.exp(-np.abs(rng.normal(0.0, sigma, _JITTER_CHUNK)))
+            np.minimum(arr, 1.0, out=arr)
+            _JITTER_CACHE[key] = arr
+        return arr
+
+    def _spike_chunk(self, chunk: int) -> tuple[np.ndarray, np.ndarray]:
+        """(probability, phase) draws for milliseconds in chunk ``chunk``."""
+        key = (int(self._seed), chunk)
+        draws = _SPIKE_CACHE.get(key)
+        if draws is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([int(self._seed), _SPIKE_TAG, chunk])
+            )
+            pair = rng.random((2, _SPIKE_CHUNK))
+            draws = (pair[0], pair[1])
+            _SPIKE_CACHE[key] = draws
+        return draws
 
     def speed_multiplier(self, time_us: float) -> float:
         """Instantaneous speed multiplier (<=1 mostly) at ``time_us``."""
@@ -72,27 +111,72 @@ class NodeNoise:
         mult = 1.0
         if cfg.jitter_sigma > 0:
             k = int(time_us / cfg.jitter_slice_us)
-            key = (int(self._seed), k, cfg.jitter_sigma)
-            jitter = _JITTER_CACHE.get(key)
-            if jitter is None:
-                rng = self._slice_rng(k)
-                # Lognormal centred slightly below 1: noise only ever slows.
-                jitter = min(1.0, float(np.exp(-abs(rng.normal(0.0, cfg.jitter_sigma)))))
-                _JITTER_CACHE[key] = jitter
-            mult *= jitter
+            mult *= float(self._jitter_chunk(k >> 9)[k & (_JITTER_CHUNK - 1)])
         if cfg.spike_rate_per_ms > 0:
             ms = int(time_us / 1000.0)
-            key = (int(self._seed), ms)
-            draws = _SPIKE_CACHE.get(key)
-            if draws is None:
-                rng = self._slice_rng(1_000_000_000 + ms)
-                draws = (float(rng.random()), float(rng.random()))
-                _SPIKE_CACHE[key] = draws
-            if draws[0] < cfg.spike_rate_per_ms:
-                start = ms * 1000.0 + draws[1] * 1000.0
+            p, frac = self._spike_chunk(ms // _SPIKE_CHUNK)
+            i = ms % _SPIKE_CHUNK
+            if p[i] < cfg.spike_rate_per_ms:
+                start = ms * 1000.0 + float(frac[i]) * 1000.0
                 if start <= time_us < start + cfg.spike_duration_us:
                     mult *= 0.25
         return mult
+
+    def speed_multipliers(self, times_us: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`speed_multiplier` over a float64 time array.
+
+        Bit-identical to calling the scalar form per element: both paths
+        gather from the same cached chunk arrays and apply the same float
+        operations (``1.0 * jitter`` then ``* 0.25`` inside a spike).
+        """
+        cfg = self.config
+        if cfg.jitter_sigma > 0:
+            k = (times_us / cfg.jitter_slice_us).astype(np.int64)
+            # gathers always copy, so mutating below never touches the cache
+            mult = self._gather_jitter(k)
+        else:
+            mult = np.ones(len(times_us))
+        if cfg.spike_rate_per_ms > 0:
+            ms = (times_us / 1000.0).astype(np.int64)
+            p, frac = self._gather_spikes(ms)
+            start = ms * 1000.0 + frac * 1000.0
+            active = (
+                (p < cfg.spike_rate_per_ms)
+                & (start <= times_us)
+                & (times_us < start + cfg.spike_duration_us)
+            )
+            mult[active] *= 0.25
+        return mult
+
+    def _gather_jitter(self, k: np.ndarray) -> np.ndarray:
+        chunks = k >> 9
+        lanes = k & (_JITTER_CHUNK - 1)
+        first = int(chunks[0])
+        # Lockstep lanes stay nearly synchronized, so one chunk usually
+        # covers the whole query — skip the unique/scatter machinery then.
+        if int(chunks.max()) == first and int(chunks.min()) == first:
+            return self._jitter_chunk(first)[lanes]
+        out = np.empty(len(k))
+        for chunk in np.unique(chunks):
+            sel = chunks == chunk
+            out[sel] = self._jitter_chunk(int(chunk))[lanes[sel]]
+        return out
+
+    def _gather_spikes(self, ms: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        chunks = ms // _SPIKE_CHUNK
+        lanes = ms % _SPIKE_CHUNK
+        first = int(chunks[0])
+        if int(chunks.max()) == first and int(chunks.min()) == first:
+            cp, cf = self._spike_chunk(first)
+            return cp[lanes], cf[lanes]
+        p = np.empty(len(ms))
+        frac = np.empty(len(ms))
+        for chunk in np.unique(chunks):
+            sel = chunks == chunk
+            cp, cf = self._spike_chunk(int(chunk))
+            p[sel] = cp[lanes[sel]]
+            frac[sel] = cf[lanes[sel]]
+        return p, frac
 
     def interrupt_loss(self, start_us: float, end_us: float) -> float:
         """Total compute time (µs) lost to periodic interrupts in a window."""
@@ -103,3 +187,15 @@ class NodeNoise:
         last = int(end_us // cfg.interrupt_period_us)
         n = max(0, last - first + 1)
         return n * cfg.interrupt_duration_us
+
+    def interrupt_losses(self, start_us: np.ndarray, end_us: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`interrupt_loss` over parallel window arrays."""
+        cfg = self.config
+        if cfg.interrupt_period_us <= 0:
+            return np.zeros(len(start_us))
+        first = np.floor_divide(start_us, cfg.interrupt_period_us).astype(np.int64) + 1
+        last = np.floor_divide(end_us, cfg.interrupt_period_us).astype(np.int64)
+        n = np.maximum(0, last - first + 1)
+        loss = n * cfg.interrupt_duration_us
+        loss[end_us <= start_us] = 0.0
+        return loss

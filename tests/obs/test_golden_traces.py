@@ -50,6 +50,32 @@ int main() {
 """
 
 
+#: exercises the lockstep tier's full lifecycle deterministically: rank 0
+#: takes a data-dependent detour with an MPI rendezvous inside it (diverge →
+#: whole-batch drain), and the allreduce after the branch re-fuses the batch,
+#: so the golden trace pins nonzero ``sim.lockstep.*`` counters.
+LOCKSTEP_SOURCE = """
+global int NITER = 4;
+void kernel() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) compute_units(20);
+}
+int main() {
+    int n; int r;
+    r = MPI_Comm_rank();
+    for (n = 0; n < NITER; n = n + 1) {
+        kernel();
+        if (r == 0) {
+            compute_units(9);
+            MPI_Sendrecv(0, 8);
+        }
+        MPI_Allreduce(16);
+    }
+    return 0;
+}
+"""
+
+
 def _machine(n_ranks: int = 4) -> MachineConfig:
     return MachineConfig(
         n_ranks=n_ranks,
@@ -98,7 +124,12 @@ def _scenario_live_interleaved():
     )
 
 
+def _scenario_lockstep():
+    return dict(source=LOCKSTEP_SOURCE, machine=_machine(), engine="lockstep")
+
+
 SCENARIOS = {
+    "lockstep": _scenario_lockstep,
     "simple_bytecode": _scenario_simple_bytecode,
     "simple_ast": _scenario_simple_ast,
     "lossy_channel": _scenario_lossy_channel,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.frontend import parse_source
 from repro.sensors.extern import default_extern_registry
-from repro.sim.bytecode import compile_module, disassemble
+from repro.sim.bytecode import compile_module, disassemble, fusability_summary
 
 _LOOP_SRC = """global int acc = 0;
 int twice(int x) {
@@ -91,3 +91,23 @@ def test_disassembly_is_deterministic():
     a = disassemble(_compile(_LOOP_SRC))
     b = disassemble(_compile(_LOOP_SRC))
     assert a == b
+
+
+def test_fuse_annotations_opt_in():
+    """``fuse=True`` annotates every instruction; the default is untouched."""
+    program = _compile(_LOOP_SRC)
+    plain = disassemble(program)
+    annotated = disassemble(program, fuse=True)
+    assert plain == _LOOP_GOLDEN  # opting in never changes the default
+    assert "; [vector]" in annotated
+    assert "; [branch]" in annotated
+    assert "convergence point (MPI rendezvous)" in annotated  # the COLL
+    assert "; fusability:" in annotated
+
+
+def test_fusability_summary_counts_every_instruction():
+    program = _compile(_LOOP_SRC)
+    counts = fusability_summary(program)
+    assert "?" not in counts  # every emitted opcode has a fuse class
+    assert counts["rendezvous"] == 1  # the MPI_Barrier
+    assert sum(counts.values()) == sum(len(fc.code) for fc in program.funcs)

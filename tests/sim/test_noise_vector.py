@@ -1,0 +1,95 @@
+"""Property tests: vectorized noise draws == sequential per-rank draws.
+
+The lockstep tier advances many rank clocks through
+:meth:`NodeNoise.speed_multipliers` at once; bit-identity with the
+per-rank engines requires the batch helper to return *exactly* what the
+scalar :meth:`NodeNoise.speed_multiplier` returns for each element, in any
+query order, warm or cold cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import noise as noise_mod
+from repro.sim.noise import NodeNoise, NoiseConfig
+
+_TIMES = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=5e6, allow_nan=False),
+        # exact slice/chunk boundaries, where int() truncation must agree
+        st.integers(min_value=0, max_value=100_000).map(lambda k: k * 50.0),
+        st.integers(min_value=0, max_value=5_000).map(lambda m: m * 1000.0),
+    ),
+    min_size=1,
+    max_size=64,
+)
+
+
+def _noise(seed: int = 7, node_id: int = 0, **overrides) -> NodeNoise:
+    return NodeNoise(NoiseConfig(**overrides), seed, node_id)
+
+
+@given(times=_TIMES, seed=st.integers(min_value=0, max_value=2**31), node=st.integers(min_value=0, max_value=5))
+@settings(max_examples=150, deadline=None)
+def test_batch_equals_sequential_scalar(times, seed, node):
+    nn = _noise(seed, node)
+    arr = np.array(times, dtype=np.float64)
+    batch = nn.speed_multipliers(arr)
+    scalar = np.array([nn.speed_multiplier(t) for t in times], dtype=np.float64)
+    assert np.array_equal(batch, scalar)
+
+
+@given(times=_TIMES)
+@settings(max_examples=50, deadline=None)
+def test_batch_matches_cold_scalar(times):
+    """Scalar-first vs vector-first cache population gives identical draws."""
+    nn = _noise(seed=123, node_id=2)
+    noise_mod._JITTER_CACHE.clear()
+    noise_mod._SPIKE_CACHE.clear()
+    scalar = [nn.speed_multiplier(t) for t in times]
+    noise_mod._JITTER_CACHE.clear()
+    noise_mod._SPIKE_CACHE.clear()
+    batch = nn.speed_multipliers(np.array(times, dtype=np.float64))
+    assert list(batch) == scalar
+
+
+@given(
+    starts=st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=32),
+    deltas=st.lists(st.floats(min_value=-10.0, max_value=1e5, allow_nan=False), min_size=1, max_size=32),
+)
+@settings(max_examples=100, deadline=None)
+def test_interrupt_losses_equal_scalar(starts, deltas):
+    n = min(len(starts), len(deltas))
+    start = np.array(starts[:n], dtype=np.float64)
+    end = start + np.array(deltas[:n], dtype=np.float64)
+    nn = _noise(seed=3)
+    batch = nn.interrupt_losses(start, end)
+    scalar = [nn.interrupt_loss(s, e) for s, e in zip(start, end)]
+    assert list(batch) == scalar
+
+
+def test_draws_shared_across_colocated_ranks():
+    """Two NodeNoise instances for one node serve identical multipliers."""
+    a = _noise(seed=9, node_id=1)
+    b = _noise(seed=9, node_id=1)
+    times = np.linspace(0.0, 250_000.0, 101)
+    assert np.array_equal(a.speed_multipliers(times), b.speed_multipliers(times))
+
+
+def test_multipliers_bounded():
+    nn = _noise(seed=5)
+    times = np.linspace(0.0, 2e6, 4001)
+    mult = nn.speed_multipliers(times)
+    assert np.all(mult > 0.0) and np.all(mult <= 1.0)
+    # jitter must actually vary (sigma > 0) and spikes occasionally fire
+    assert len(np.unique(mult)) > 100
+
+
+def test_zero_noise_is_unity():
+    nn = _noise(seed=5, jitter_sigma=0.0, spike_rate_per_ms=0.0, interrupt_period_us=0.0)
+    times = np.linspace(0.0, 1e5, 64)
+    assert np.all(nn.speed_multipliers(times) == 1.0)
+    assert nn.speed_multiplier(12345.6) == 1.0
+    assert np.all(nn.interrupt_losses(times, times + 100.0) == 0.0)
