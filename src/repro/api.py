@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.diagnostics import Diagnostic
+from repro.errors import ReproError
 from repro.frontend import Module, parse_source
 from repro.instrument import InstrumentationPlan, InstrumentedProgram
 from repro.obs import NULL_OBS, Obs
@@ -253,6 +254,201 @@ def run_vsensor(
         run.report = runtime.report(sim.total_time)
     if run.channel_stats is not None:
         run.report.channel_stats = dict(run.channel_stats)
+    return run
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """One tenant of a multi-job sharded-service run."""
+
+    source: str
+    machine: MachineConfig
+    #: tenant id; defaults to the job's position in the list
+    job_id: int | None = None
+    faults: Sequence[Fault] = ()
+    #: per-job rank->front channel (spec string / config / channel);
+    #: ``None`` uses a perfect zero-delay channel — delivery still runs
+    #: the sequenced transport so admission rejections stay retriable
+    channel: object | None = None
+    retry_policy: object | None = None
+    detector: DetectorConfig | None = None
+    rule: DynamicRule | None = None
+    engine: str = "bytecode"
+    max_depth: int = 3
+
+
+@dataclass(slots=True)
+class JobRun:
+    """One tenant's outcome of a multi-job run."""
+
+    job_id: int
+    static: StaticResult
+    sim: SimResult
+    runtime: VSensorRuntime
+    report: VarianceReport | None = None
+    channel_stats: dict[str, int] | None = None
+
+
+@dataclass(slots=True)
+class MultiJobRun:
+    """Outcome of :func:`run_multi_job`: the service plus per-job results."""
+
+    service: object
+    jobs: dict[int, JobRun] = field(default_factory=dict)
+
+
+class _BatchRecorder:
+    """Duck-typed server capturing each rank's batch sends with times."""
+
+    def __init__(self, batch_period_us: float) -> None:
+        self.batch_period_us = batch_period_us
+        self.events: list[tuple[float, int, list]] = []
+
+    def send_batch(self, rank: int, summaries: list, now: float) -> None:
+        self.events.append((now, rank, list(summaries)))
+
+
+def run_multi_job(
+    jobs: Sequence[JobSpec],
+    n_shards: int = 4,
+    window_us: float = 200_000.0,
+    batch_period_us: float = 100_000.0,
+    queue_limit: int = 64,
+    cost=None,
+    analysis_engine: str = "columnar",
+    vnodes: int = 64,
+    store: ArtifactStore | None | object = _DEFAULT_STORE,
+    obs: Obs | None = None,
+) -> MultiJobRun:
+    """Run several jobs concurrently through one sharded analysis service.
+
+    Each job is compiled and simulated exactly as :func:`run_vsensor`
+    would, but its rank batches — captured with their virtual send times —
+    are replayed interleaved across all jobs (globally time-ordered) into
+    a shared :class:`~repro.service.AnalysisService`: per-job
+    :class:`~repro.runtime.transport.ReliableTransport` instances carry
+    the sequenced batches over each job's channel into the admission-
+    controlled front, which routes them onto ``n_shards`` consistent-hash
+    shard workers.  Every job's report/matrices are then answered by the
+    service's per-job query merger — bit-identical to what an unsharded
+    run of that job alone would produce.
+
+    ``cost`` is an optional :class:`~repro.service.ShardCostModel` giving
+    shards a virtual processing cost (that is what makes bounded queues
+    fill and back-pressure engage); the default is zero cost.
+    """
+    from repro.runtime.channel import ChannelConfig, LossyChannel, perfect_channel
+    from repro.runtime.transport import ReliableTransport, RetryPolicy
+    from repro.service import AnalysisService
+
+    obs = obs or NULL_OBS
+    service = AnalysisService(
+        n_shards,
+        window_us=window_us,
+        batch_period_us=batch_period_us,
+        engine=analysis_engine,
+        queue_limit=queue_limit,
+        cost=cost,
+        vnodes=vnodes,
+        obs=obs if obs.enabled else None,
+    )
+    run = MultiJobRun(service=service)
+    recorders: dict[int, _BatchRecorder] = {}
+    transports: dict[int, ReliableTransport] = {}
+    specs: dict[int, JobSpec] = {}
+
+    # Phase 1: compile + simulate every job, capturing timed batch sends.
+    for index, spec in enumerate(jobs):
+        job_id = index if spec.job_id is None else spec.job_id
+        if job_id in run.jobs:
+            raise ReproError(f"duplicate job id {job_id}")
+        static = compile_and_instrument(
+            spec.source, max_depth=spec.max_depth, store=store, obs=obs
+        )
+        recorder = _BatchRecorder(batch_period_us)
+        runtime = VSensorRuntime(
+            sensors=static.program.sensors,
+            n_ranks=spec.machine.n_ranks,
+            config=spec.detector or DetectorConfig(),
+            rule=spec.rule or NoGrouping(),
+            server=recorder,  # type: ignore[arg-type]
+            obs=obs,
+        )
+        with obs.tracer.span("vsensor.simulate", engine=spec.engine, job=job_id):
+            sim = Simulator(
+                static.program.module,
+                spec.machine,
+                faults=tuple(spec.faults),
+                sensors=static.program.sensors,
+                engine=spec.engine,
+                obs=obs,
+            ).run(runtime)
+        recorders[job_id] = recorder
+        specs[job_id] = spec
+        run.jobs[job_id] = JobRun(job_id=job_id, static=static, sim=sim, runtime=runtime)
+
+    # Phase 2: replay all jobs' batches, globally time-ordered, through
+    # per-job sequenced transports into the shared sharded front.
+    metrics = obs.metrics if obs.enabled else None
+    for job_id, job_run in run.jobs.items():
+        spec = specs[job_id]
+        port = service.register_job(job_id, job_run.runtime.n_ranks)
+        channel = spec.channel
+        if channel is None:
+            channel = perfect_channel()
+        elif isinstance(channel, str):
+            channel = ChannelConfig.parse(channel)
+        if isinstance(channel, ChannelConfig):
+            channel = LossyChannel(config=channel)
+        transports[job_id] = ReliableTransport(
+            server=port,  # type: ignore[arg-type]
+            channel=channel,
+            policy=spec.retry_policy or RetryPolicy(),
+            metrics=metrics,
+            job_id=job_id,
+        )
+    timeline = sorted(
+        (
+            (now, job_id, order, rank, rows)
+            for job_id, recorder in recorders.items()
+            for order, (now, rank, rows) in enumerate(recorder.events)
+        ),
+        key=lambda item: (item[0], item[1], item[2]),
+    )
+    with obs.tracer.span("service.ingest", jobs=len(run.jobs), shards=n_shards):
+        for now, job_id, _, rank, rows in timeline:
+            transports[job_id].send_batch(rank, rows, now)
+            service.pump(now)
+
+        # Phase 3: drive retries/back-pressure to quiescence, keeping the
+        # shards pumping so deferred retries always find freed capacity.
+        while True:
+            targets = [
+                due
+                for transport in transports.values()
+                if (due := transport.channel.next_due()) is not None
+            ]
+            targets.extend(
+                pending.next_retry_at
+                for transport in transports.values()
+                for pending in transport._pending.values()
+            )
+            if not targets:
+                break
+            t = min(targets)
+            service.pump(t)
+            for transport in transports.values():
+                transport.pump(t)
+        service.finish()
+
+    # Phase 4: per-job reports answered by the merged per-job view.
+    for job_id, job_run in run.jobs.items():
+        port = service.ports[job_id]
+        job_run.runtime.server = port  # type: ignore[assignment]
+        with obs.tracer.span("vsensor.analyze", job=job_id):
+            job_run.report = job_run.runtime.report(job_run.sim.total_time)
+        job_run.channel_stats = transports[job_id].channel.stats.as_dict()
+        job_run.report.channel_stats = dict(job_run.channel_stats)
     return run
 
 

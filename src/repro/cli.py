@@ -172,6 +172,8 @@ def cmd_run(args) -> int:
         from repro.obs import Obs
 
         obs = Obs.create()
+    if args.shards:
+        return _run_sharded(args, source, faults, obs)
     profiler = None
     if args.profile:
         import cProfile
@@ -240,6 +242,64 @@ def cmd_run(args) -> int:
             write_pgm(matrix, base + ".pgm")
             matrix_to_csv(matrix, base + ".csv", window_us=args.window_ms * 1000.0)
             print(f"exported {base}.pgm / .csv")
+    return 0
+
+
+def _run_sharded(args, source: str, faults, obs) -> int:
+    """``run --shards N [--jobs J]``: the multi-tenant sharded service.
+
+    Each job replays the same program as its own tenant on a machine with
+    a distinct noise seed — the fleet setting where one shared analysis
+    service ingests every tenant's summaries concurrently.
+    """
+    from repro.api import JobSpec, run_multi_job
+
+    kwargs = _compile_kwargs(args)
+    jobs = [
+        JobSpec(
+            source=source,
+            machine=MachineConfig(
+                n_ranks=args.ranks,
+                ranks_per_node=args.ranks_per_node,
+                seed=args.seed + job,
+            ),
+            job_id=job,
+            faults=faults,
+            channel=args.channel,
+            engine=args.engine,
+            max_depth=kwargs["max_depth"],
+        )
+        for job in range(args.jobs)
+    ]
+    run = run_multi_job(
+        jobs,
+        n_shards=args.shards,
+        window_us=args.window_ms * 1000.0,
+        analysis_engine=args.analysis_engine,
+        obs=obs,
+        **({"store": kwargs["store"]} if "store" in kwargs else {}),
+    )
+    print(f"sharded service : {run.service.describe()}")
+    for job_id, job_run in sorted(run.jobs.items()):
+        report = job_run.report
+        print(
+            f"  job {job_id}: ranks={report.n_ranks} "
+            f"intra={report.intra_events} inter={report.inter_events} "
+            f"data={report.bytes_to_server / 1024:.1f}KiB "
+            f"degraded={list(report.degraded_ranks)}"
+        )
+    if obs is not None:
+        from repro.obs import write_chrome_trace, write_metrics
+
+        if args.trace_out:
+            write_chrome_trace(obs.tracer, args.trace_out)
+            print(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            write_metrics(obs.metrics, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+    first = min(run.jobs)
+    print(f"\njob {first} report:")
+    print(run.jobs[first].report.summary())
     return 0
 
 
@@ -316,6 +376,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="columnar",
         help="analysis-server data path: vectorized columnar store with "
         "incremental replay (default) or the object-at-a-time reference",
+    )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run through the sharded multi-tenant analysis service with "
+        "this many shard workers (0 = classic unsharded run)",
+    )
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of concurrent tenant jobs for --shards (each replays "
+        "the program on a machine with a distinct noise seed)",
     )
     p_run.add_argument(
         "--profile",

@@ -143,6 +143,8 @@ class Envelope:
     deliver_at: float
     #: True for channel-created duplicate copies
     is_copy: bool = False
+    #: tenant dimension — sequence numbers are only unique per (job, rank)
+    job: int = 0
 
 
 @dataclass(slots=True)
@@ -166,18 +168,20 @@ class LossyChannel:
 
     # -- sending -----------------------------------------------------------
 
-    def send(self, rank: int, seq: int, payload: tuple, now: float) -> None:
+    def send(self, rank: int, seq: int, payload: tuple, now: float, job: int = 0) -> None:
         """Submit one batch copy; the channel decides its fate."""
         self.stats.sent += 1
         if self._rng.random() < self.config.drop_rate:
             self.stats.dropped += 1
         else:
-            self._enqueue(rank, seq, payload, now, is_copy=False)
+            self._enqueue(rank, seq, payload, now, is_copy=False, job=job)
         if self.config.dup_rate and self._rng.random() < self.config.dup_rate:
             self.stats.duplicated += 1
-            self._enqueue(rank, seq, payload, now, is_copy=True)
+            self._enqueue(rank, seq, payload, now, is_copy=True, job=job)
 
-    def _enqueue(self, rank: int, seq: int, payload: tuple, now: float, is_copy: bool) -> None:
+    def _enqueue(
+        self, rank: int, seq: int, payload: tuple, now: float, is_copy: bool, job: int = 0
+    ) -> None:
         delay = self.config.delay_us
         if self.config.jitter_us:
             delay += self._rng.random() * self.config.jitter_us
@@ -186,7 +190,7 @@ class LossyChannel:
             delay += self._rng.random() * self.config.reorder_delay_us
         envelope = Envelope(
             rank=rank, seq=seq, payload=payload, sent_at=now,
-            deliver_at=now + delay, is_copy=is_copy,
+            deliver_at=now + delay, is_copy=is_copy, job=job,
         )
         heapq.heappush(self._heap, (envelope.deliver_at, self._order, envelope))
         self._order += 1

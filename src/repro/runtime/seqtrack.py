@@ -1,0 +1,40 @@
+"""Cumulative-watermark sequence tracking (the PR 2 delivery contract).
+
+One :class:`SequenceTracker` guards one sequenced stream: ``accept``
+admits each sequence number exactly once (at-least-once delivery
+upstream, exactly-once effect downstream) and maintains the cumulative
+watermark — every ``seq <= watermark`` has been received — that the
+reliable transport reads back as its ack.  Out-of-order arrivals park in
+a small above-watermark set until the gap fills.
+
+Extracted from :class:`~repro.runtime.server.AnalysisServer` so the
+sharded service's ingest front can run the identical dedup discipline
+per ``(job, rank)`` stream without duplicating the watermark logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SequenceTracker:
+    """Exactly-once admission over one sequence-numbered stream."""
+
+    #: every sequence number <= this has been accepted
+    watermark: int = -1
+    #: accepted sequence numbers above the watermark (arrival gaps)
+    _seen: set[int] = field(default_factory=set)
+
+    def accept(self, seq: int) -> bool:
+        """Record one received sequence number; False if already seen."""
+        if seq <= self.watermark or seq in self._seen:
+            return False
+        self._seen.add(seq)
+        while self.watermark + 1 in self._seen:
+            self.watermark += 1
+            self._seen.remove(self.watermark)
+        return True
+
+    def is_acked(self, seq: int) -> bool:
+        return seq <= self.watermark or seq in self._seen

@@ -43,6 +43,7 @@ import numpy as np
 from repro.runtime.columnar import ColumnarStore
 from repro.runtime.history import SensorHistory
 from repro.runtime.records import SENSOR_TYPE_CODE, SliceSummary, SummaryColumns
+from repro.runtime.seqtrack import SequenceTracker
 from repro.sensors.model import SensorType
 
 
@@ -106,10 +107,8 @@ class AnalysisServer:
     #: identity-keyed summary store: (rank, sensor, group, slice) -> summary
     #: (reference engine only; the columnar engine stores rows in _columns)
     _store: dict[tuple[int, int, str, int], SliceSummary] = field(default_factory=dict)
-    #: per-rank received sequence numbers above the watermark
-    _seen_seqs: dict[int, set[int]] = field(default_factory=dict)
-    #: per-rank cumulative watermark: every seq <= this has been received
-    _watermarks: dict[int, int] = field(default_factory=dict)
+    #: per-rank sequence trackers (cumulative watermark + gap set)
+    _seqs: dict[int, SequenceTracker] = field(default_factory=dict)
     _max_window: int = 0
     _sensor_types: dict[int, SensorType] = field(default_factory=dict)
     #: virtual time of the freshest slice each rank has reported
@@ -215,25 +214,19 @@ class AnalysisServer:
 
     def _advance_watermark(self, rank: int, seq: int) -> bool:
         """Record one received sequence number; False if already seen."""
-        watermark = self._watermarks.get(rank, -1)
-        if seq <= watermark:
-            return False
-        seen = self._seen_seqs.setdefault(rank, set())
-        if seq in seen:
-            return False
-        seen.add(seq)
-        while watermark + 1 in seen:
-            watermark += 1
-            seen.remove(watermark)
-        self._watermarks[rank] = watermark
-        return True
+        tracker = self._seqs.get(rank)
+        if tracker is None:
+            tracker = self._seqs[rank] = SequenceTracker()
+        return tracker.accept(seq)
 
     def ack_watermark(self, rank: int) -> int:
         """Highest sequence number below which everything arrived."""
-        return self._watermarks.get(rank, -1)
+        tracker = self._seqs.get(rank)
+        return -1 if tracker is None else tracker.watermark
 
     def is_acked(self, rank: int, seq: int) -> bool:
-        return seq <= self._watermarks.get(rank, -1) or seq in self._seen_seqs.get(rank, ())
+        tracker = self._seqs.get(rank)
+        return tracker is not None and tracker.is_acked(seq)
 
     def _ingest(self, summary: SliceSummary) -> None:
         key = summary.identity
@@ -256,6 +249,19 @@ class AnalysisServer:
         if self._columns is not None:
             return len(self._columns)
         return len(self._store)
+
+    def export_rows(self, start: int = 0) -> tuple[list[SliceSummary], int]:
+        """Stored summaries from insertion position ``start`` onward.
+
+        The store is append-only (deduplicated rows are never reordered or
+        removed), so ``(rows, total)`` lets a caller keep a cursor and pull
+        only the delta on each call — the shard → query-merger gather path
+        of the sharded analysis service."""
+        if self._columns is not None:
+            total = len(self._columns)
+            return self._columns.export_summaries(start, total), total
+        rows = list(self._store.values())
+        return rows[start:], len(rows)
 
     # -- degradation / coverage --------------------------------------------
 

@@ -87,17 +87,33 @@ class FileSpool:
     metrics: object | None = None
     #: writer-side intern table (dynamic-rule group strings); code 0 is ""
     _groups: list[str] = field(default_factory=lambda: [""])
-    #: writer-side: group codes already defined in each rank's file
-    _written_codes: dict[int, set[int]] = field(default_factory=dict)
-    #: reader-side: group tables decoded per rank file
-    _reader_groups: dict[int, dict[int, str]] = field(default_factory=dict)
-    _offsets: dict[int, int] = field(default_factory=dict)
+    #: writer-side: group codes already defined in each (job, rank) file
+    _written_codes: dict[tuple[int, int], set[int]] = field(default_factory=dict)
+    #: reader-side: group tables decoded per (job, rank) file
+    _reader_groups: dict[tuple[int, int], dict[int, str]] = field(default_factory=dict)
+    _offsets: dict[tuple[int, int], int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         os.makedirs(self.directory, exist_ok=True)
 
-    def _path(self, rank: int) -> str:
-        return os.path.join(self.directory, f"rank{rank:05d}.spool")
+    def _path(self, rank: int, job: int = 0) -> str:
+        # Job 0 keeps the legacy single-tenant file name so existing spool
+        # directories (and their byte accounting) decode unchanged; other
+        # tenants get their own per-(job, rank) stream.
+        if job == 0:
+            return os.path.join(self.directory, f"rank{rank:05d}.spool")
+        return os.path.join(self.directory, f"job{job:05d}_rank{rank:05d}.spool")
+
+    @staticmethod
+    def _parse_name(name: str) -> tuple[int, int] | None:
+        """(job, rank) from a spool file name, or None if not a spool."""
+        if not name.endswith(".spool"):
+            return None
+        stem = name[: -len(".spool")]
+        if stem.startswith("job"):
+            job_part, _, rank_part = stem.partition("_")
+            return int(job_part[3:]), int(rank_part[4:])
+        return 0, int(stem[4:])
 
     def _group_code(self, group: str) -> int:
         try:
@@ -112,10 +128,17 @@ class FileSpool:
     # -- rank side ---------------------------------------------------------
 
     def append_batch(self, rank: int, summaries: list[SliceSummary]) -> None:
-        """Append one batch to the rank's spool file."""
-        written = self._written_codes.setdefault(rank, {0})
-        chunks = []
+        """Append one batch to the rank's per-job spool file(s).
+
+        The batch is split by ``job_id`` (single-job batches stay one
+        write); each (job, rank) stream carries its own group-definition
+        frames, so a reader can drain any one tenant independently.
+        """
+        by_job: dict[int, list[bytes]] = {}
         for s in summaries:
+            job = s.job_id
+            written = self._written_codes.setdefault((job, rank), {0})
+            chunks = by_job.setdefault(job, [])
             code = self._group_code(s.group)
             if code not in written:
                 written.add(code)
@@ -134,8 +157,9 @@ class FileSpool:
                     int(min(max(s.mean_cache_miss, 0.0), 1.0) * 0xFFFF),
                 )
             )
-        with open(self._path(rank), "ab") as fh:
-            fh.write(b"".join(chunks))
+        for job, chunks in by_job.items():
+            with open(self._path(rank, job), "ab") as fh:
+                fh.write(b"".join(chunks))
         if self.metrics is not None:
             self.metrics.counter("spool.records_written").inc(len(summaries))
 
@@ -146,29 +170,33 @@ class FileSpool:
         server: AnalysisServer,
         slice_us: float = 1000.0,
         expected_ranks: int | None = None,
+        job: int = 0,
     ) -> int:
-        """Read all new spool data into the server; return summaries read.
+        """Read all new spool data for one job into the server.
 
-        With ``expected_ranks`` set, ranks that never produced a spool file
+        Only ``job``'s per-(job, rank) files are touched, so concurrent
+        tenants sharing a spool directory drain independently.  With
+        ``expected_ranks`` set, ranks that never produced a spool file
         are marked degraded on the server — a quiet spool must not crash
-        (or silently skew) matrix rendering.
+        (or silently skew) matrix rendering.  Returns summaries read.
         """
         total = 0
         present: set[int] = set()
         for name in sorted(os.listdir(self.directory)):
-            if not name.endswith(".spool"):
+            parsed = self._parse_name(name)
+            if parsed is None or parsed[0] != job:
                 continue
+            rank = parsed[1]
             path = os.path.join(self.directory, name)
-            rank = int(name[4:9])
             present.add(rank)
-            offset = self._offsets.get(rank, 0)
+            offset = self._offsets.get((job, rank), 0)
             with open(path, "rb") as fh:
                 fh.seek(offset)
                 data = fh.read()
-            count, consumed = self._decode_into(server, rank, data, slice_us)
+            count, consumed = self._decode_into(server, rank, data, slice_us, job)
             # Only complete frames advance the offset: a truncated tail is
             # re-read (and by then completed) on the next drain.
-            self._offsets[rank] = offset + consumed
+            self._offsets[(job, rank)] = offset + consumed
             total += count
         if expected_ranks is not None:
             for rank in range(expected_ranks):
@@ -179,7 +207,7 @@ class FileSpool:
         return total
 
     def _decode_into(
-        self, server: AnalysisServer, rank: int, data: bytes, slice_us: float
+        self, server: AnalysisServer, rank: int, data: bytes, slice_us: float, job: int = 0
     ) -> tuple[int, int]:
         """Decode complete frames; return (records decoded, bytes consumed).
 
@@ -191,7 +219,7 @@ class FileSpool:
         boundaries and error behaviour are unchanged: a truncated tail is
         left for the next drain, an unknown frame kind raises.
         """
-        groups = self._reader_groups.setdefault(rank, {0: ""})
+        groups = self._reader_groups.setdefault((job, rank), {0: ""})
         n = len(data)
         pos = 0
         count = 0
@@ -212,7 +240,7 @@ class FileSpool:
             if kind != 1:
                 raise ReproError(
                     f"corrupt spool for rank {rank}: unknown frame kind {kind:#x} "
-                    f"at offset {self._offsets.get(rank, 0) + pos}"
+                    f"at offset {self._offsets.get((job, rank), 0) + pos}"
                 )
             whole_frames = (n - pos) // _FRAME_DTYPE.itemsize
             if whole_frames == 0:
@@ -239,6 +267,7 @@ class FileSpool:
                 mean_duration=frames["dur"],
                 count=frames["count"].astype(np.int64),
                 mean_cache_miss=frames["miss"].astype(np.float64) / 0xFFFF,
+                job=job,
             )
             server.receive_batch_columns(rank, columns, encoded_bytes=pos)
         return count, pos
@@ -304,6 +333,7 @@ class _Pending:
     payload: tuple
     attempts: int
     next_retry_at: float
+    job: int = 0
 
 
 @dataclass(slots=True)
@@ -328,14 +358,18 @@ class ReliableTransport:
     #: optional :class:`~repro.obs.metrics.MetricsRegistry` for delivery
     #: counters; ``None`` keeps the send/pump paths at one branch each
     metrics: object | None = None
-    _next_seq: dict[int, int] = field(default_factory=dict)
-    _pending: dict[tuple[int, int], _Pending] = field(default_factory=dict)
-    #: group strings already encoded once per rank (codec state: a group
-    #: definition frame goes on the wire only before its first use)
-    _sent_groups: dict[int, set[str]] = field(default_factory=dict)
-    #: encoded wire size per (rank, seq) — retransmissions reuse it, so a
-    #: redelivered batch is accounted at exactly its original size
-    _encoded: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: tenant this transport carries; stamped on every envelope so several
+    #: jobs' transports can share a channel into one ingest front
+    job_id: int = 0
+    _next_seq: dict[tuple[int, int], int] = field(default_factory=dict)
+    _pending: dict[tuple[int, int, int], _Pending] = field(default_factory=dict)
+    #: group strings already encoded once per (job, rank) stream (codec
+    #: state: a group definition frame goes on the wire only before its
+    #: first use)
+    _sent_groups: dict[tuple[int, int], set[str]] = field(default_factory=dict)
+    #: encoded wire size per (job, rank, seq) — retransmissions reuse it,
+    #: so a redelivered batch is accounted at exactly its original size
+    _encoded: dict[tuple[int, int, int], int] = field(default_factory=dict)
 
     @property
     def batch_period_us(self) -> float:
@@ -344,7 +378,7 @@ class ReliableTransport:
     def _encoded_size(self, rank: int, summaries: tuple | list) -> int:
         """Wire size of the batch under the spool codec (headers + group
         definition frames included) — what ``bytes_received`` accounts."""
-        sent = self._sent_groups.setdefault(rank, {""})
+        sent = self._sent_groups.setdefault((self.job_id, rank), {""})
         size = 0
         for s in summaries:
             if s.group not in sent:
@@ -358,14 +392,15 @@ class ReliableTransport:
     def send_batch(self, rank: int, summaries: list[SliceSummary], now: float) -> int:
         """Assign the next sequence number and launch the batch."""
         self.clock = max(self.clock, now)
-        seq = self._next_seq.get(rank, 0)
-        self._next_seq[rank] = seq + 1
+        job = self.job_id
+        seq = self._next_seq.get((job, rank), 0)
+        self._next_seq[(job, rank)] = seq + 1
         payload = tuple(summaries)
-        self._encoded[(rank, seq)] = self._encoded_size(rank, payload)
-        self.channel.send(rank, seq, payload, self.clock)
-        self._pending[(rank, seq)] = _Pending(
+        self._encoded[(job, rank, seq)] = self._encoded_size(rank, payload)
+        self.channel.send(rank, seq, payload, self.clock, job=job)
+        self._pending[(job, rank, seq)] = _Pending(
             rank=rank, seq=seq, payload=payload, attempts=1,
-            next_retry_at=self.clock + self.policy.retry_delay(1),
+            next_retry_at=self.clock + self.policy.retry_delay(1), job=job,
         )
         if self.metrics is not None:
             self.metrics.counter("transport.batches_sent").inc()
@@ -387,10 +422,25 @@ class ReliableTransport:
                 envelope.rank,
                 list(envelope.payload),
                 seq=envelope.seq,
-                encoded_bytes=self._encoded.get((envelope.rank, envelope.seq)),
+                encoded_bytes=self._encoded.get((envelope.job, envelope.rank, envelope.seq)),
             )
             if not accepted:
-                self.channel.stats.late += 1
+                # An admission-controlled server (the sharded front) can
+                # attach a retry-after hint to a rejection; honoring it
+                # re-times the pending retransmit instead of counting the
+                # copy as late (the batch was on time — the queue was full).
+                retry_at = None
+                hint = getattr(self.server, "pop_retry_hint", None)
+                if hint is not None:
+                    retry_at = hint(envelope.rank, envelope.seq)
+                if retry_at is not None:
+                    pending = self._pending.get((envelope.job, envelope.rank, envelope.seq))
+                    if pending is not None:
+                        pending.next_retry_at = max(pending.next_retry_at, retry_at)
+                    if self.metrics is not None:
+                        self.metrics.counter("transport.backpressure_deferred").inc()
+                else:
+                    self.channel.stats.late += 1
         for key, pending in list(self._pending.items()):
             if self.server.is_acked(pending.rank, pending.seq):
                 del self._pending[key]
@@ -408,7 +458,9 @@ class ReliableTransport:
                 if self.metrics is not None:
                     self.metrics.counter("transport.retries").inc()
                 pending.attempts += 1
-                self.channel.send(pending.rank, pending.seq, pending.payload, self.clock)
+                self.channel.send(
+                    pending.rank, pending.seq, pending.payload, self.clock, job=pending.job
+                )
                 pending.next_retry_at = self.clock + self.policy.retry_delay(pending.attempts)
 
     def unacked(self) -> int:

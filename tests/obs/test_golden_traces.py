@@ -128,6 +128,31 @@ def _scenario_lockstep():
     return dict(source=LOCKSTEP_SOURCE, machine=_machine(), engine="lockstep")
 
 
+def _scenario_multi_job_sharded():
+    # Two tenants through the sharded service: the trace pins the per-job
+    # ``vsensor.simulate``/``vsensor.analyze`` spans, the ``service.ingest``
+    # span, per-shard ``service.shard.*.apply`` spans and counters, and the
+    # merger's ``service.merge.refresh`` spans — the whole multi-tenant
+    # span topology is a reviewed artifact.
+    from repro.api import JobSpec, run_multi_job
+
+    def runner(obs):
+        specs = [
+            JobSpec(SIMPLE_SOURCE, _machine(), job_id=0),
+            JobSpec(SIMPLE_SOURCE, _machine(), job_id=1),
+        ]
+        run_multi_job(
+            specs,
+            n_shards=2,
+            window_us=1000.0,
+            batch_period_us=500.0,
+            store=None,
+            obs=obs,
+        )
+
+    return dict(runner=runner)
+
+
 SCENARIOS = {
     "lockstep": _scenario_lockstep,
     "simple_bytecode": _scenario_simple_bytecode,
@@ -135,12 +160,17 @@ SCENARIOS = {
     "lossy_channel": _scenario_lossy_channel,
     "fwq_micro": _scenario_fwq_micro,
     "live_interleaved": _scenario_live_interleaved,
+    "multi_job_sharded": _scenario_multi_job_sharded,
 }
 
 
 def _observe(scenario: dict) -> dict:
     obs = Obs.create()
-    run_vsensor(store=None, obs=obs, **scenario)
+    runner = scenario.pop("runner", None)
+    if runner is not None:
+        runner(obs=obs)
+    else:
+        run_vsensor(store=None, obs=obs, **scenario)
     return canonical_obs(obs)
 
 
