@@ -1,0 +1,192 @@
+"""Overhead governor: Fig. 18-20 detection quality under a hard cost cap.
+
+The paper caps vSensor's overhead by *construction* — the static module
+refuses sensors predicted too hot, and §5.3 shuts off any snippet whose
+measured self-cost exceeds its threshold.  Both are one-way doors: once a
+sensor is off it never comes back, and the budget is per-sensor, not
+global.  The runtime governor replaces that with a closed loop: measure
+aggregate probe self-cost per rank each evaluation slice, demote the
+cheapest-information sensors to 1-in-N sampling (then suspension) while
+over budget, and re-promote everything the moment a sibling rank shows
+variance.
+
+This bench runs the §6.4 injection scenario (two CpuContention episodes,
+nodes 1 and 3, 32 ranks / 8 per node) on two workloads whose probe
+density makes ungoverned instrumentation blow a 2% budget, and gates:
+
+* ungoverned full-rate overhead exceeds the 2% cap (the problem exists),
+* at ``overhead_budget=2%``: quiet-run makespan overhead lands under the
+  cap AND the golden Fig. 18-20 computation F-score stays 1.0,
+* at a stingy 1% budget the governor degrades *gracefully*: precision
+  holds at 1.0 (no false regions — it may miss, it must not invent) with
+  F >= 0.5, and the quiet overhead is no worse than the 2% run's.
+
+LULESH carries ``InstructionBands`` so its data-dependent snippets group
+by measured workload; AMG runs ungrouped.  Probe costs are scenario
+parameters chosen so full-rate instrumentation clearly violates the cap
+while the sampled steady state fits inside it.  Results land in
+``BENCH_governor.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import once, write_payload
+
+from repro.api import run_uninstrumented, run_vsensor
+from repro.runtime.dynrules import InstructionBands
+from repro.runtime.governor import GovernorConfig
+from repro.runtime.quality import score_detection
+from repro.sensors.model import SensorType
+from repro.sim import CpuContention, MachineConfig
+from repro.workloads import get_workload
+
+N_RANKS = 32
+PER_NODE = 8
+BUDGET_CAP = 0.02     # the hard cap: quiet overhead must land under this
+BUDGET_TIGHT = 0.01   # graceful-degradation point
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_governor.json")
+
+#: (workload, scale, probe_cost, sample_period, rule factory).  Probe
+#: costs are calibrated so the ungoverned run clearly violates the 2%
+#: cap while a fully-sampled steady state fits inside it — the regime
+#: the governor is for.
+SCENARIOS = [
+    ("LULESH", 4, 25.0, 4, InstructionBands),
+    ("AMG", 4, 70.0, 3, None),
+]
+
+
+def _injections(span: float) -> list[CpuContention]:
+    return [
+        CpuContention(node_ids=(1,), t0=0.25 * span, t1=0.45 * span, cpu_factor=0.35),
+        CpuContention(node_ids=(3,), t0=0.60 * span, t1=0.80 * span, cpu_factor=0.35),
+    ]
+
+
+def _run_scenario(name, scale, probe_cost, sample_period, rule_factory):
+    source = get_workload(name).source(scale=scale)
+    machine = MachineConfig(
+        n_ranks=N_RANKS, ranks_per_node=PER_NODE, probe_cost=probe_cost
+    )
+    base = run_uninstrumented(source, machine).total_time
+    span = base
+    injections = _injections(span)
+    fault_base = run_uninstrumented(source, machine, faults=injections).total_time
+    window = dict(window_us=span / 16, batch_period_us=span / 16)
+
+    def rule():
+        return rule_factory() if rule_factory is not None else None
+
+    full = run_vsensor(source, machine, rule=rule(), **window)
+    full_overhead = (full.report.total_time_us - base) / base
+
+    budgets = {}
+    for budget in (BUDGET_CAP, BUDGET_TIGHT):
+        quiet = run_vsensor(
+            source,
+            machine,
+            rule=rule(),
+            governor=GovernorConfig(overhead_budget=budget, sample_period=sample_period),
+            **window,
+        )
+        quiet_overhead = (quiet.report.total_time_us - base) / base
+        fault = run_vsensor(
+            source,
+            machine,
+            faults=injections,
+            rule=rule(),
+            governor=GovernorConfig(overhead_budget=budget, sample_period=sample_period),
+            **window,
+        )
+        fault_overhead = (fault.report.total_time_us - fault_base) / fault_base
+        score = score_detection(
+            fault.report, injections, machine,
+            sensor_types=(SensorType.COMPUTATION,),
+        )
+        gov = fault.runtime.governor
+        # Coverage bookkeeping must balance: every probe execution is
+        # kept, sampled out, or suppressed — nothing double-counted or
+        # silently dropped.
+        for rank_tables in gov.table._ranks.values():
+            for ctl in rank_tables.values():
+                assert ctl.executions == ctl.kept + ctl.sampled_out + ctl.suppressed
+        budgets[budget] = {
+            "quiet_overhead": round(quiet_overhead, 4),
+            "fault_overhead": round(fault_overhead, 4),
+            "f_score": round(score.f_score, 3),
+            "precision": round(score.precision, 3),
+            "recall": round(score.recall, 3),
+            "decisions": gov.totals(),
+            "coverage": round(gov.coverage(), 4),
+        }
+    return {
+        "workload": name,
+        "scale": scale,
+        "probe_cost": probe_cost,
+        "sample_period": sample_period,
+        "rule": rule_factory().name if rule_factory is not None else "none",
+        "full_rate_overhead": round(full_overhead, 4),
+        "budgets": budgets,
+    }
+
+
+@pytest.mark.slow
+def test_governor_budget_cap(benchmark):
+    rows = once(
+        benchmark,
+        lambda: [_run_scenario(*scenario) for scenario in SCENARIOS],
+    )
+
+    print(f"\n{'workload':<8s} {'full':>7s} | {'b':>5s} {'quiet':>7s} {'fault':>7s}"
+          f" {'F':>5s} {'P':>5s} {'R':>5s}")
+    for row in rows:
+        for budget, stats in row["budgets"].items():
+            print(
+                f"{row['workload']:<8s} {row['full_rate_overhead']:>7.4f} | "
+                f"{budget:>5.2f} {stats['quiet_overhead']:>7.4f} "
+                f"{stats['fault_overhead']:>7.4f} {stats['f_score']:>5.2f} "
+                f"{stats['precision']:>5.2f} {stats['recall']:>5.2f}"
+            )
+
+    payload = {
+        "benchmark": "overhead governor: Fig 18-20 F-score under a hard 2% cost cap",
+        "scenario": "two CpuContention episodes (nodes 1, 3), 32 ranks / 8 per node",
+        "results": rows,
+        #: machine-readable gates, judged per workload below
+        "gate": {
+            "full_rate_exceeds_cap": BUDGET_CAP,
+            "hard_cap": {
+                "budget": BUDGET_CAP,
+                "max_quiet_overhead": BUDGET_CAP,
+                "min_f_score": 1.0,
+            },
+            "graceful": {
+                "budget": BUDGET_TIGHT,
+                "min_f_score": 0.5,
+                "min_precision": 1.0,
+            },
+        },
+    }
+    write_payload(JSON_PATH, payload)
+
+    for row in rows:
+        name = row["workload"]
+        # The problem is real: ungoverned instrumentation blows the cap.
+        assert row["full_rate_overhead"] > BUDGET_CAP, (name, row)
+        capped = row["budgets"][BUDGET_CAP]
+        # Hard cap honored on the quiet run, golden F-score preserved.
+        assert capped["quiet_overhead"] <= BUDGET_CAP, (name, capped)
+        assert capped["f_score"] == 1.0, (name, capped)
+        assert capped["precision"] == 1.0, (name, capped)
+        tight = row["budgets"][BUDGET_TIGHT]
+        # Graceful degradation: tighter budget may cost recall, never
+        # precision, and must not spend more than the looser budget.
+        assert tight["quiet_overhead"] <= capped["quiet_overhead"] + 1e-9, (name, tight)
+        assert tight["precision"] == 1.0, (name, tight)
+        assert tight["f_score"] >= 0.5, (name, tight)
+        for stats in row["budgets"].values():
+            assert 0.0 < stats["coverage"] <= 1.0, (name, stats)

@@ -133,6 +133,40 @@ def compile_and_instrument(
     )
 
 
+def _resolve_governor(
+    governor, overhead_budget, governor_policy, machine, static,
+    detector_config, metrics, obs,
+):
+    """Build an :class:`~repro.runtime.governor.OverheadGovernor` from the
+    user-facing knobs; ``None`` (all knobs unset) means no governor."""
+    from repro.runtime.governor import GovernorConfig, OverheadGovernor
+
+    if governor is None and overhead_budget is None and governor_policy is None:
+        return None
+    if isinstance(governor, OverheadGovernor):
+        return governor
+    if isinstance(governor, GovernorConfig):
+        config = governor
+    else:
+        if isinstance(governor, str) and governor_policy is None:
+            governor_policy = governor
+        kwargs = {"eval_period_us": detector_config.slice_us}
+        if overhead_budget is not None:
+            kwargs["overhead_budget"] = overhead_budget
+        if governor_policy is not None:
+            kwargs["policy"] = governor_policy
+        config = GovernorConfig(**kwargs)
+    return OverheadGovernor(
+        config,
+        estimates=static.plan.estimates,
+        probe_cost=machine.probe_cost,
+        detector_config=detector_config,
+        ranks_per_node=machine.ranks_per_node,
+        metrics=metrics,
+        obs=obs,
+    )
+
+
 def run_vsensor(
     source: str,
     machine: MachineConfig,
@@ -152,6 +186,9 @@ def run_vsensor(
     retry_policy=None,
     store: ArtifactStore | None | object = _DEFAULT_STORE,
     obs: Obs | None = None,
+    governor=None,
+    overhead_budget: float | None = None,
+    governor_policy: str | None = None,
 ) -> VSensorRun:
     """Compile, instrument, simulate and analyze one program.
 
@@ -188,6 +225,14 @@ def run_vsensor(
     record / retry / dedup counters across the runtime.  The default is
     the no-op bundle; an enabled bundle never changes the report, the
     matrices, or any cached artifact (the golden suite asserts this).
+
+    ``governor`` installs the runtime overhead governor
+    (:mod:`repro.runtime.governor`): pass a
+    :class:`~repro.runtime.governor.GovernorConfig`, a policy name
+    (``"adaptive"`` / ``"paper-shutoff"``), or leave ``None`` and set
+    ``overhead_budget`` and/or ``governor_policy`` instead.  All three
+    ``None`` (the default) installs no governor — every engine tier is
+    bit-identical to the ungoverned historical behavior.
     """
     from repro.runtime.channel import ChannelConfig, LossyChannel
     from repro.runtime.server import AnalysisServer
@@ -212,13 +257,19 @@ def run_vsensor(
         metrics=metrics,
         obs=obs if obs.enabled else None,
     )
+    detector_config = detector or DetectorConfig()
+    gov = _resolve_governor(
+        governor, overhead_budget, governor_policy, machine, static,
+        detector_config, metrics, obs,
+    )
     runtime = VSensorRuntime(
         sensors=static.program.sensors,
         n_ranks=machine.n_ranks,
-        config=detector or DetectorConfig(),
+        config=detector_config,
         rule=rule or NoGrouping(),
         server=server,
         obs=obs,
+        governor=gov,
     )
     transport = None
     if channel is not None:
@@ -244,6 +295,7 @@ def run_vsensor(
             externs=externs,
             engine=engine,
             obs=obs,
+            probe_control=gov.control if gov is not None else None,
         ).run(hooks)
     run = VSensorRun(static=static, sim=sim, runtime=runtime)
     with obs.tracer.span("vsensor.analyze"):

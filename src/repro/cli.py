@@ -190,6 +190,8 @@ def cmd_run(args) -> int:
         analysis_engine=args.analysis_engine,
         channel=args.channel,
         obs=obs,
+        overhead_budget=args.overhead_budget,
+        governor_policy=args.governor_policy,
         **_compile_kwargs(args),
     )
     wall_s = time.perf_counter() - wall_t0
@@ -228,6 +230,10 @@ def cmd_run(args) -> int:
                 f"({report['spans']} spans, {report['metric_ops']} metric ops)"
             )
     print(run.report.summary())
+    governor = run.runtime.governor
+    if governor is not None and (args.obs_summary or governor.decisions):
+        print()
+        print(governor.format_tally())
     for sensor_type in SensorType:
         matrix = run.report.matrices.get(sensor_type)
         if matrix is None:
@@ -362,6 +368,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate an unreliable rank->server channel: "
         "'lossy', 'perfect', or 'drop=0.1,dup=0.05,reorder=0.2,delay=200,seed=7' "
         "(batches then use sequenced retry delivery with idempotent ingest)",
+    )
+    p_run.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=None,
+        help="enable the runtime overhead governor with this probe "
+        "self-cost budget (fraction of elapsed time, e.g. 0.02)",
+    )
+    p_run.add_argument(
+        "--governor-policy",
+        choices=("adaptive", "paper-shutoff"),
+        default=None,
+        help="governor policy: 'adaptive' (budget loop with demote/promote "
+        "hysteresis) or 'paper-shutoff' (only the paper's §5.3 one-way "
+        "shutoff, behavior-identical to no governor)",
     )
     p_run.add_argument(
         "--engine",

@@ -20,6 +20,23 @@ from repro.sensors.identify import IdentificationResult
 from repro.sensors.model import SensorType, VSensor
 
 
+@dataclass(frozen=True, slots=True)
+class SensorEstimate:
+    """The selector's compile-time cost/frequency guess for one sensor.
+
+    Historically computed for the granularity cut and then dropped; now
+    exported with the plan so the runtime overhead governor can order
+    sensors by information density (``None`` = the static analysis could
+    not tell — treated conservatively downstream).
+    """
+
+    #: estimated work units per snippet execution
+    est_work: float | None = None
+    #: estimated executions per invocation of the enclosing function
+    #: (product of enclosing counted-loop trip counts)
+    est_calls: float | None = None
+
+
 @dataclass(slots=True)
 class InstrumentationPlan:
     """The sensors chosen for probing, with bookkeeping for reports."""
@@ -32,6 +49,8 @@ class InstrumentationPlan:
     rejected_tiny: list[VSensor] = field(default_factory=list)
     #: one structured diagnostic per rejected sensor ("explain" support)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: sensor_id → :class:`SensorEstimate` for every identified sensor
+    estimates: dict[int, SensorEstimate] = field(default_factory=dict)
 
     def by_type(self) -> dict[SensorType, int]:
         counts: dict[SensorType, int] = {}
@@ -75,6 +94,47 @@ def _is_tiny_extern_call(sensor: VSensor, result: IdentificationResult) -> bool:
     assert isinstance(node, CallExpr)
     model = result.summaries.extern_model(node.callee)
     return model is not None and not model.probe_worthy
+
+
+def _node_frequencies(module, estimator) -> dict[int, float | None]:
+    """node_id → estimated executions per enclosing-function invocation.
+
+    A recursive walk over each function body carrying the product of
+    enclosing counted-loop trip counts.  ``None`` propagates for unknowable
+    multipliers (while-loops, non-canonical for-loops).  Both statement and
+    call-expression node ids are recorded, matching the two snippet kinds.
+    """
+    from repro.frontend import ast_nodes as A
+
+    freqs: dict[int, float | None] = {}
+
+    def record_exprs(stmt, freq):
+        for expr in A.walk_exprs(stmt):
+            if isinstance(expr, A.CallExpr):
+                freqs[expr.node_id] = freq
+
+    def walk(stmt, freq):
+        if stmt is None:
+            return
+        if isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                walk(s, freq)
+            return
+        freqs[stmt.node_id] = freq
+        record_exprs(stmt, freq)
+        if isinstance(stmt, A.ForStmt):
+            trips = estimator.trip_count(stmt)
+            inner = None if freq is None or trips is None else freq * trips
+            walk(stmt.body, inner)
+        elif isinstance(stmt, A.WhileStmt):
+            walk(stmt.body, None)
+        elif isinstance(stmt, A.IfStmt):
+            walk(stmt.then_body, freq)
+            walk(stmt.else_body, freq)
+
+    for fn in module.functions:
+        walk(fn.body, 1.0)
+    return freqs
 
 
 def _functions_reachable_from(
@@ -129,10 +189,22 @@ def select_sensors(
         sensor.selected = False
 
     estimator = None
-    if min_estimated_work > 0.0 and result.ir.ast is not None:
+    if result.ir.ast is not None:
         from repro.sensors.estimate import WorkloadEstimator
 
         estimator = WorkloadEstimator(result.ir.ast, externs=result.summaries.externs)
+        freqs = _node_frequencies(result.ir.ast, estimator)
+        for sensor in result.sensors:
+            plan.estimates[sensor.sensor_id] = SensorEstimate(
+                est_work=estimator.estimate_snippet(sensor.snippet.node),
+                est_calls=freqs.get(sensor.snippet.node.node_id),
+            )
+    if min_estimated_work <= 0.0:
+        # Estimates feed the runtime governor either way, but the
+        # granularity cut below stays opt-in: only applied when asked.
+        cut_estimator = None
+    else:
+        cut_estimator = estimator
 
     candidates: list[VSensor] = []
     for sensor in result.sensors:
@@ -152,8 +224,8 @@ def select_sensors(
                 plan, plan.rejected_tiny, sensor, ReasonCode.BELOW_GRANULARITY,
                 f"{sensor.snippet.spelled} is too small to wrap in probes",
             )
-        elif estimator is not None and _estimated_too_small(
-            sensor, estimator, min_estimated_work
+        elif cut_estimator is not None and _estimated_too_small(
+            sensor, cut_estimator, min_estimated_work
         ):
             _reject(
                 plan, plan.rejected_tiny, sensor, ReasonCode.BELOW_GRANULARITY,

@@ -27,7 +27,13 @@ behind the simulator's hook interface.
 from repro.runtime.channel import ChannelConfig, ChannelStats, LossyChannel
 from repro.runtime.columnar import ColumnarStore
 from repro.runtime.detector import DetectorConfig, RankDetector, VarianceEvent
-from repro.runtime.dynrules import CacheMissBands, DynamicRule, NoGrouping
+from repro.runtime.dynrules import (
+    CacheMissBands,
+    DynamicRule,
+    InstructionBands,
+    NoGrouping,
+    ThresholdMiss,
+)
 from repro.runtime.history import SensorHistory, observe_block
 from repro.runtime.records import SensorRecord, SliceSummary, SummaryColumns
 from repro.runtime.report import VarianceReport
@@ -49,7 +55,9 @@ __all__ = [
     "RetryPolicy",
     "DetectorConfig",
     "DynamicRule",
+    "InstructionBands",
     "NoGrouping",
+    "ThresholdMiss",
     "RankDetector",
     "SensorHistory",
     "SensorRecord",

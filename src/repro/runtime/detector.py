@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.runtime.dynrules import DynamicRule, NoGrouping
+from repro.runtime.governor import PaperShutoff
 from repro.runtime.history import SensorHistory
 from repro.runtime.records import SensorRecord, SliceSummary
 from repro.runtime.smoothing import SliceAggregator
@@ -55,31 +56,35 @@ class RankDetector:
     #: optional :class:`~repro.obs.metrics.MetricsRegistry`; ``None`` keeps
     #: the per-record hot path at a single branch
     metrics: object | None = None
+    #: the §5.3 rule object; ``None`` builds a default sharing :attr:`shutoff`
+    lifecycle: PaperShutoff | None = None
     _aggregator: SliceAggregator = None  # type: ignore[assignment]
-    _seen: dict[int, int] = field(default_factory=dict)
-    _dur_sum: dict[int, float] = field(default_factory=dict)
     records_processed: int = 0
 
     def __post_init__(self) -> None:
         self._aggregator = SliceAggregator(rank=self.rank, slice_us=self.config.slice_us)
+        if self.lifecycle is None:
+            self.lifecycle = PaperShutoff(
+                min_duration_us=self.config.min_duration_us,
+                shutoff_after=self.config.shutoff_after,
+                shutoff=self.shutoff,
+            )
+        else:
+            self.shutoff = self.lifecycle.shutoff
 
     def add(self, record: SensorRecord) -> list[VarianceEvent]:
         """Feed one probe record; return any new variance events."""
         sid = record.sensor_id
-        if sid in self.shutoff:
+        life = self.lifecycle
+        if life.is_off(sid):
             return []
         self.records_processed += 1
         if self.metrics is not None:
             self.metrics.counter("detector.records").inc()
-        seen = self._seen.get(sid, 0) + 1
-        self._seen[sid] = seen
-        self._dur_sum[sid] = self._dur_sum.get(sid, 0.0) + record.duration
-        if seen == self.config.shutoff_after:
-            if self._dur_sum[sid] / seen < self.config.min_duration_us:
-                self.shutoff.add(sid)
-                if self.metrics is not None:
-                    self.metrics.counter("detector.shutoff_sensors").inc()
-                return []
+        if not life.observe(sid, record.duration):
+            if self.metrics is not None:
+                self.metrics.counter("detector.shutoff_sensors").inc()
+            return []
         grouped = SensorRecord(
             rank=record.rank,
             sensor_id=record.sensor_id,

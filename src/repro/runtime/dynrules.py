@@ -9,6 +9,7 @@ the low-miss group is a variance even if fast high-miss records exist
 
 from __future__ import annotations
 
+import math
 from typing import Protocol
 
 from repro.runtime.records import SensorRecord
@@ -44,6 +45,32 @@ class CacheMissBands:
     def group(self, record: SensorRecord) -> str:
         band = int(record.cache_miss_rate / self.band_width)
         return f"miss{band}"
+
+
+class InstructionBands:
+    """Group by instruction-count ratio bands (log scale).
+
+    The §5.2 answer for snippets whose workload is data dependent — a loop
+    with a runtime trip count executes a different instruction total each
+    visit, so raw durations are multi-modal even on a quiet machine.  Two
+    records share a group only when their instruction counts are within
+    ``band_width`` of each other (bands are powers of ``1 + band_width``),
+    so each per-group history sees a near-fixed workload.  External slowdown
+    leaves the instruction count — and hence the group — unchanged while
+    inflating duration, which is exactly what detection compares.
+    """
+
+    def __init__(self, band_width: float = 0.10) -> None:
+        if not (0.0 < band_width <= 1.0):
+            raise ValueError("band_width must be in (0, 1]")
+        self.band_width = band_width
+        self.name = f"instruction-bands({band_width:.0%})"
+
+    def group(self, record: SensorRecord) -> str:
+        if record.instructions < 1.0:
+            return "i0"
+        band = int(math.log(record.instructions) / math.log1p(self.band_width))
+        return f"i{band}"
 
 
 class ThresholdMiss:

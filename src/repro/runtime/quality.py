@@ -115,6 +115,10 @@ class QualityScore:
     detected: list[VarianceRegion]
     matched_truths: int = 0
     matched_regions: int = 0
+    #: the report's sampling coverage under governor throttling — an
+    #: F-score over 80%-covered telemetry is not the same claim as one
+    #: over full telemetry, so the score carries the fraction along
+    coverage: float = 1.0
 
     @property
     def recall(self) -> float:
@@ -132,11 +136,14 @@ class QualityScore:
         return 2.0 * p * r / (p + r) if p + r > 0 else 0.0
 
     def describe(self) -> str:
-        return (
+        out = (
             f"recall {self.matched_truths}/{len(self.truths)}, "
             f"precision {self.matched_regions}/{len(self.detected)}, "
             f"F={self.f_score:.2f}"
         )
+        if self.coverage < 1.0:
+            out += f" (at {self.coverage:.0%} sampling coverage)"
+        return out
 
 
 def score_detection(
@@ -164,7 +171,11 @@ def score_detection(
         regions = [r for r in regions if r.sensor_type in sensor_types]
     slack = slack_windows * report.window_us
 
-    score = QualityScore(truths=truths, detected=regions)
+    score = QualityScore(
+        truths=truths,
+        detected=regions,
+        coverage=getattr(report, "sampling_coverage", 1.0),
+    )
     for truth in truths:
         if any(truth.overlaps(region, slack) for region in regions):
             score.matched_truths += 1

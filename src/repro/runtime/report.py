@@ -62,6 +62,15 @@ class VarianceReport:
     coverage_confidence: float = 1.0
     #: channel delivery counters when a lossy channel was simulated
     channel_stats: dict[str, int] | None = None
+    #: fraction of probe executions represented in analysis output under
+    #: governor sampling/suspension (1.0 = every execution recorded or
+    #: statistically represented by a kept 1-in-N sibling)
+    sampling_coverage: float = 1.0
+    #: governor decision totals (demote/promote/suspend/resample) when a
+    #: governor ran; ``None`` otherwise
+    governor_decisions: dict[str, int] | None = None
+    #: (rank, sensor) pairs left suspended by the governor at end of run
+    governor_suspended: int = 0
 
     def data_rate_kb_per_s(self) -> float:
         """Average per-process data generation rate (the §6.4 comparison)."""
@@ -104,6 +113,14 @@ class VarianceReport:
             lines.append(f"  degraded ranks: {list(self.degraded_ranks)}")
         if self.coverage_confidence < 1.0:
             lines.append(f"  inter-event coverage confidence: {self.coverage_confidence:.2f}")
+        if self.governor_decisions is not None:
+            decisions = self.governor_decisions
+            lines.append(
+                "  governor: "
+                + " ".join(f"{key}={decisions[key]}" for key in sorted(decisions))
+                + f" suspended={self.governor_suspended}"
+                + f" coverage={self.sampling_coverage:.3f}"
+            )
         for region in self.regions[:20]:
             lines.append("  variance: " + region.describe())
         return "\n".join(lines)
@@ -179,6 +196,11 @@ def build_report(runtime: "VSensorRuntime", total_time: float) -> VarianceReport
             float(np.mean([event.coverage for event in events])) if events else 1.0
         ),
     )
+    governor = getattr(runtime, "governor", None)
+    if governor is not None:
+        report.sampling_coverage = governor.coverage()
+        report.governor_decisions = governor.totals()
+        report.governor_suspended = governor.suspended_sensors()
     for sensor_type in SensorType:
         matrix = server.performance_matrix(sensor_type)
         if np.isfinite(matrix).any():

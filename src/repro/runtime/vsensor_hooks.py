@@ -38,6 +38,10 @@ class VSensorRuntime(RuntimeHooks):
     events: list[VarianceEvent] = field(default_factory=list)
     #: optional periodic reporter (workflow step 8's live updates)
     live: object | None = None
+    #: optional :class:`~repro.runtime.governor.OverheadGovernor`; when set,
+    #: detectors get governor-instrumented §5.3 lifecycles and every record /
+    #: variance event feeds the budget loop
+    governor: object | None = None
     #: observability bundle; the disabled default keeps the per-record
     #: path free of tracer work (detectors get ``metrics=None``)
     obs: Obs = field(default_factory=lambda: NULL_OBS)
@@ -55,9 +59,14 @@ class VSensorRuntime(RuntimeHooks):
 
     def on_program_start(self, n_ranks: int) -> None:
         metrics = self.obs.metrics if self.obs.enabled else None
+        gov = self.governor
         for rank in range(n_ranks):
             self.detectors[rank] = RankDetector(
-                rank=rank, config=self.config, rule=self.rule, metrics=metrics
+                rank=rank,
+                config=self.config,
+                rule=self.rule,
+                metrics=metrics,
+                lifecycle=gov.lifecycle(rank) if gov is not None else None,
             )
             self._buffers[rank] = []
             self._last_batch[rank] = 0.0
@@ -80,7 +89,14 @@ class VSensorRuntime(RuntimeHooks):
             cache_miss_rate=pmu.cache_miss_rate,
         )
         before = len(detector.summaries)
-        self.events.extend(detector.add(record))
+        new_events = detector.add(record)
+        self.events.extend(new_events)
+        gov = self.governor
+        if gov is not None:
+            gov.on_record(rank, t_end)
+            if new_events:
+                worst = min(new_events, key=lambda e: e.performance)
+                gov.on_variance(rank, t_end, worst.performance, worst.sensor_type)
         self._enqueue_new_summaries(rank, detector, before, t_end)
 
     def on_program_end(self, rank: int, t: float) -> None:
@@ -92,16 +108,25 @@ class VSensorRuntime(RuntimeHooks):
         self._enqueue_new_summaries(rank, detector, before, t, force=True)
         if self.obs.enabled:
             # One virtual-time leaf span per rank's detection lifetime.
-            self.obs.tracer.emit(
-                "runtime.rank_detector",
-                0.0,
-                t,
+            # Governor attrs appear only when a governor is installed so
+            # governed runs never perturb ungoverned golden traces.
+            attrs = dict(
                 rank=rank,
                 records=detector.records_processed,
                 summaries=len(detector.summaries),
                 events=len(detector.events),
                 shutoff=len(detector.shutoff),
             )
+            gov = self.governor
+            if gov is not None:
+                tally = gov.decisions.get(rank)
+                if tally:
+                    attrs.update(
+                        demote=tally["demote"],
+                        promote=tally["promote"],
+                        suspend=tally["suspend"],
+                    )
+            self.obs.tracer.emit("runtime.rank_detector", 0.0, t, **attrs)
 
     # -- batching to the analysis server (§5.4) ------------------------------
 

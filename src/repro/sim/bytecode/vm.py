@@ -34,7 +34,7 @@ class BytecodeInterp(RankInterp):
     """Bytecode-executing drop-in for :class:`RankInterp`."""
 
     def __init__(self, program, module, rank, n_ranks, machine, faults, hooks,
-                 sensors=None, entry="main", externs=None):
+                 sensors=None, entry="main", externs=None, probe_control=None):
         super().__init__(
             module=module,
             rank=rank,
@@ -45,6 +45,7 @@ class BytecodeInterp(RankInterp):
             sensors=sensors,
             entry=entry,
             externs=externs,
+            probe_control=probe_control,
         )
         self.program = program
 

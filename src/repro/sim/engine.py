@@ -87,10 +87,14 @@ class Simulator:
         externs=None,
         engine: str = "bytecode",
         obs: Obs | None = None,
+        probe_control=None,
     ) -> None:
         if engine not in ("bytecode", "ast", "lockstep"):
             raise ValueError(f"unknown engine {engine!r} (bytecode|ast|lockstep)")
         self.module = module
+        #: optional governor :class:`~repro.runtime.governor.SensorControlTable`
+        #: consulted per probe execution; ``None`` keeps probes unconditional
+        self.probe_control = probe_control
         self.machine = machine
         self.faults = tuple(faults)
         self.sensors = sensors or {}
@@ -136,6 +140,7 @@ class Simulator:
                     sensors=self.sensors,
                     entry=self.entry,
                     externs=self.externs,
+                    probe_control=self.probe_control,
                 )
                 for rank in range(n)
             ]
@@ -158,6 +163,7 @@ class Simulator:
                 entry=self.entry,
                 shared_has_call=shared_memo,
                 externs=self.externs,
+                probe_control=self.probe_control,
             )
             for rank in range(n)
         ]

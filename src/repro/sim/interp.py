@@ -118,8 +118,11 @@ class RankInterp:
         entry: str = "main",
         shared_has_call: dict[int, bool] | None = None,
         externs=None,
+        probe_control=None,
     ) -> None:
         self.module = module
+        #: optional governor control table; ``None`` keeps probes unconditional
+        self.probe_control = probe_control
         self.rank = rank
         self.n_ranks = n_ranks
         self.machine = machine
@@ -623,11 +626,21 @@ class RankInterp:
     # ------------------------------------------------------------------
 
     def _probe_tick(self, sensor_id: int) -> None:
+        ctl = self.probe_control
+        if ctl is not None and not ctl.decide(self.rank, sensor_id):
+            # Governor says skip: charge only the table check, open nothing.
+            # The decision is latched here; the matching tock pops it.
+            self._charge(ctl.check_cost)
+            return
         self._charge(self.machine.probe_cost)
         self._flush()
         self._open_ticks[sensor_id] = (self.clock.now, self._total_half, self._total_frac)
 
     def _probe_tock(self, sensor_id: int) -> None:
+        ctl = self.probe_control
+        if ctl is not None and ctl.pop_skip(self.rank, sensor_id):
+            self._charge(ctl.check_cost)
+            return
         self._flush()
         open_entry = self._open_ticks.pop(sensor_id, None)
         self._charge(self.machine.probe_cost)

@@ -91,7 +91,7 @@ class LockstepRunner:
         self.states = [None] * self.n         # ScalarState while drained
         self.gens = [None] * self.n           # live drain generator
         self.await_mpi = [False] * self.n     # drained with undelivered MPI
-        self.stats = {"fuse": 0, "diverge": 0, "drain": 0}
+        self.stats = {"fuse": 0, "diverge": 0, "drain": 0, "governor_drain": 0}
         self.diverged_ranks: set[int] = set()
         self._counters_flushed = False
         self.vm = FusedVM.initial(self)
@@ -228,6 +228,21 @@ class LockstepRunner:
         metrics.counter("sim.lockstep.diverge").inc(self.stats["diverge"])
         metrics.counter("sim.lockstep.drain").inc(self.stats["drain"])
         metrics.counter("sim.lockstep.diverged").inc(len(self.diverged_ranks))
+        # Emitted only when a governor actually forced drains, so runs
+        # without a governor keep their golden counter sets unchanged.
+        if self.stats["governor_drain"]:
+            metrics.counter("sim.lockstep.governor_drains").inc(
+                self.stats["governor_drain"]
+            )
+
+    def note_governor_drain(self) -> None:
+        """A probe's control state diverged across lanes: the whole batch
+        drains before any lane's governor decision is consumed."""
+        self.stats["governor_drain"] += 1
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            t = max(float(x) for x in self.clocks.now)
+            tracer.emit("sim.lockstep.governor_drain", t, t, lanes=self.n)
 
     def note_diverge(self, positions) -> None:
         self.stats["diverge"] += 1

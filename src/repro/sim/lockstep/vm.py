@@ -128,6 +128,8 @@ class FusedVM:
         self.machine = first.machine
         self.network = first.network
         self.faults = first.faults
+        #: governor control table shared by every lane (None = no governor)
+        self.control = first.probe_control
         self.nmod = max(1, first.n_ranks)
         self.ranks_vec = _obj_vec([i.rank for i in self.interps])
         node_ids = [i.clock.node.node_id for i in self.interps]
@@ -576,15 +578,59 @@ class FusedVM:
                 if type(sid) is nd:
                     sync()
                     return self._spill(pc - 1)
-                self.pend_u = pend_u
-                self.tot_u = tot_u
-                if op == 41:
-                    self._tick_full(int(sid))
-                elif not self._tock_full(int(sid)):
-                    sync()
-                    return self._spill(pc - 1)
-                pend_u = self.pend_u
-                tot_u = self.tot_u
+                ctl = self.control
+                if ctl is None:
+                    self.pend_u = pend_u
+                    self.tot_u = tot_u
+                    if op == 41:
+                        self._tick_full(int(sid))
+                    elif not self._tock_full(int(sid)):
+                        sync()
+                        return self._spill(pc - 1)
+                    pend_u = self.pend_u
+                    tot_u = self.tot_u
+                else:
+                    # Governor consult. ``peek``/``peek_skip`` are free of
+                    # side effects: on a non-uniform answer the batch drains
+                    # BEFORE any lane's decision is consumed, and the scalar
+                    # re-execution of this op consults per lane —
+                    # exactly-once accounting either way.
+                    sidn = int(sid)
+                    if op == 41:
+                        keeps = [ctl.peek(i.rank, sidn) for i in interps]
+                        if any(keeps) != all(keeps):
+                            self.runner.note_governor_drain()
+                            sync()
+                            return self._spill(pc - 1)
+                        self.pend_u = pend_u
+                        self.tot_u = tot_u
+                        for i in interps:
+                            ctl.decide(i.rank, sidn)
+                        if keeps[0]:
+                            self._tick_full(sidn)
+                        else:
+                            # uniform skip: table check only, no flush —
+                            # mirrors the scalar skip path exactly
+                            self._charge_uniform(ctl.check_cost)
+                        pend_u = self.pend_u
+                        tot_u = self.tot_u
+                    else:
+                        skips = [ctl.peek_skip(i.rank, sidn) for i in interps]
+                        if any(skips) != all(skips):
+                            self.runner.note_governor_drain()
+                            sync()
+                            return self._spill(pc - 1)
+                        self.pend_u = pend_u
+                        self.tot_u = tot_u
+                        if skips[0]:
+                            for i in interps:
+                                ctl.pop_skip(i.rank, sidn)
+                            self._charge_uniform(ctl.check_cost)
+                        elif not self._tock_full(sidn):
+                            sync()
+                            return self._spill(pc - 1)
+                        pend_u = self.pend_u
+                        tot_u = self.tot_u
             elif op == 49:  # IOOP
                 self.pend_u = pend_u
                 self.tot_u = tot_u

@@ -128,6 +128,25 @@ def _scenario_lockstep():
     return dict(source=LOCKSTEP_SOURCE, machine=_machine(), engine="lockstep")
 
 
+def _scenario_governor():
+    # Adaptive overhead governor under a deliberately tiny budget + short
+    # eval period so the micro-program's ~1.8 ms run produces demotions:
+    # the golden pins the ``governor.*`` counters and the per-rank
+    # demote/promote attrs on ``runtime.rank_detector`` spans.  Governor
+    # decisions are pure virtual-time accounting, so the trace is exactly
+    # as deterministic as the ungoverned scenarios.
+    from repro.runtime.governor import GovernorConfig
+
+    return dict(
+        source=SIMPLE_SOURCE,
+        machine=_machine(),
+        engine="bytecode",
+        governor=GovernorConfig(
+            overhead_budget=0.002, eval_period_us=200.0, demote_patience=1
+        ),
+    )
+
+
 def _scenario_multi_job_sharded():
     # Two tenants through the sharded service: the trace pins the per-job
     # ``vsensor.simulate``/``vsensor.analyze`` spans, the ``service.ingest``
@@ -154,6 +173,7 @@ def _scenario_multi_job_sharded():
 
 
 SCENARIOS = {
+    "governor": _scenario_governor,
     "lockstep": _scenario_lockstep,
     "simple_bytecode": _scenario_simple_bytecode,
     "simple_ast": _scenario_simple_ast,

@@ -76,6 +76,53 @@ def test_short_sensor_shutoff():
     assert det.records_processed == processed
 
 
+def test_shutoff_fires_at_exactly_shutoff_after():
+    # the decision is made on record number ``shutoff_after`` itself —
+    # one record earlier the sensor is still live
+    det = make(min_duration_us=5.0, shutoff_after=10)
+    t = 0.0
+    for _ in range(9):
+        t += 100.0
+        det.add(rec(t, 1.0))
+    assert det.shutoff == set()
+    det.add(rec(t + 100.0, 1.0))
+    assert det.shutoff == {1}
+
+
+def test_mean_exactly_at_min_duration_stays_on():
+    # the § 5.3 comparison is strict <: a mean of exactly
+    # ``min_duration_us`` keeps the sensor
+    det = make(min_duration_us=5.0, shutoff_after=10)
+    t = 0.0
+    for _ in range(10):
+        t += 100.0
+        det.add(rec(t, 5.0))
+    assert det.shutoff == set()
+
+
+def test_mean_just_below_min_duration_shuts_off():
+    det = make(min_duration_us=5.0, shutoff_after=10)
+    t = 0.0
+    for _ in range(10):
+        t += 100.0
+        det.add(rec(t, 5.0 - 1e-9))
+    assert det.shutoff == {1}
+
+
+def test_shutoff_decision_is_one_shot():
+    # a sensor that survives record #shutoff_after is never revisited,
+    # even if every later record is far below the minimum
+    det = make(min_duration_us=5.0, shutoff_after=10)
+    t = 0.0
+    for _ in range(10):
+        t += 100.0
+        det.add(rec(t, 50.0))
+    for _ in range(40):
+        t += 100.0
+        det.add(rec(t, 1.0))
+    assert det.shutoff == set()
+
+
 def test_long_sensor_not_shut_off():
     det = make(min_duration_us=5.0, shutoff_after=10)
     t = 0.0

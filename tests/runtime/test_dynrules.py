@@ -44,6 +44,78 @@ def test_threshold_rule_binary():
     assert rule.group(rec(0.7)) == "H"
 
 
+def irec(instructions):
+    return SensorRecord(
+        rank=0,
+        sensor_id=1,
+        sensor_type=SensorType.COMPUTATION,
+        t_start=0.0,
+        t_end=1.0,
+        instructions=instructions,
+        cache_miss_rate=0.1,
+    )
+
+
+def test_cache_miss_band_edges():
+    # band_width 0.25 is exactly representable: edges land exactly on
+    # band starts, and a rate of exactly 1.0 maps to the final band.
+    rule = CacheMissBands(band_width=0.25)
+    assert rule.group(rec(0.0)) == "miss0"
+    assert rule.group(rec(0.25)) == "miss1"
+    assert rule.group(rec(0.5)) == "miss2"
+    assert rule.group(rec(0.75)) == "miss3"
+    assert rule.group(rec(1.0)) == "miss4"
+
+
+def test_cache_miss_rate_one_with_default_bands():
+    # rate == 1.0 must classify (not raise / fall off the end); with the
+    # non-representable default width the band index is whatever float
+    # division yields, and it must agree with neighbouring rates.
+    rule = CacheMissBands()
+    assert rule.group(rec(1.0)) == f"miss{int(1.0 / 0.10)}"
+    assert rule.group(rec(0.999)) == "miss9"
+
+
+def test_threshold_exactly_at_threshold_is_high():
+    # the comparison is >=: the boundary record lands in the H group
+    rule = ThresholdMiss(threshold=0.5)
+    assert rule.group(rec(0.5)) == "H"
+    assert rule.group(rec(0.49999999)) == "L"
+
+
+def test_instruction_bands_validation():
+    from repro.runtime.dynrules import InstructionBands
+
+    with pytest.raises(ValueError):
+        InstructionBands(band_width=0.0)
+    with pytest.raises(ValueError):
+        InstructionBands(band_width=1.5)
+    assert InstructionBands(0.10).name == "instruction-bands(10%)"
+
+
+def test_instruction_bands_tiny_counts_collapse():
+    from repro.runtime.dynrules import InstructionBands
+
+    rule = InstructionBands()
+    # counts below one instruction (and exactly one) share band i0: the
+    # log is undefined/zero there, not a distinct workload class
+    assert rule.group(irec(0.0)) == "i0"
+    assert rule.group(irec(0.5)) == "i0"
+    assert rule.group(irec(1.0)) == "i0"
+
+
+def test_instruction_bands_group_near_constant_workloads():
+    from repro.runtime.dynrules import InstructionBands
+
+    rule = InstructionBands(band_width=0.10)
+    # within 10% of each other -> same band; an order of magnitude apart
+    # -> different bands, and band index grows with the count
+    assert rule.group(irec(1000.0)) == rule.group(irec(1040.0))
+    assert rule.group(irec(1000.0)) != rule.group(irec(10_000.0))
+    bands = [int(rule.group(irec(10.0**k))[1:]) for k in range(1, 6)]
+    assert bands == sorted(bands) and len(set(bands)) == len(bands)
+
+
 def test_fig13_scenario():
     """Fig. 13: wall times [3,3,7,3,5,3,7,3,3,3], miss rates H for the 7s
     and record 4's 5s is a low-miss outlier.

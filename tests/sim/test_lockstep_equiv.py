@@ -225,4 +225,6 @@ def test_injected_divergence_bit_identical(marked, with_fault):
         assert runner.stats["drain"] > 0
         assert runner.stats["fuse"] > 0
     else:
-        assert runner.stats == {"fuse": 0, "diverge": 0, "drain": 0}
+        assert runner.stats == {
+                "fuse": 0, "diverge": 0, "drain": 0, "governor_drain": 0
+            }
