@@ -1,0 +1,167 @@
+"""History-scan benchmark: hunter throughput over a synthetic fleet trajectory.
+
+Builds a :class:`~repro.history.RunStore` holding 240 synthetic runs (a
+200-run main trajectory with two injected regressions plus a 40-run quiet
+side trajectory), times a full :class:`~repro.history.RegressionHunter`
+pass over it, and gates on the subsystem's contract rather than raw
+speed:
+
+* **deterministic** — two independent scans produce bit-identical
+  finding lists (the acceptance criterion of the history subsystem);
+* **correct** — both injected steps are recovered within ±1 run and
+  nothing in the quiet trajectory is flagged;
+* throughput (runs/s, series/s) is recorded as trajectory data in
+  ``BENCH_history.json``, not asserted — wall time is hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_payload
+
+from repro.history import (
+    EDivisive,
+    RegressionHunter,
+    RunRecord,
+    RunStore,
+    SensorBaseline,
+)
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_history.json")
+
+MAIN_FP = "a" * 64
+QUIET_FP = "b" * 64
+N_MAIN = 200
+N_QUIET = 40
+N_SENSORS = 10
+#: injected steps: (run index, series the hunter should flag)
+PERF_DROP_AT = 150
+TIME_RISE_AT = 80
+
+
+def _baseline(rng, sensor_id: int, perf: float, jitter: bool = False) -> SensorBaseline:
+    # Only the injected sensor carries jitter: constant series are
+    # deterministically quiet, so every other sensor is guaranteed noise-free
+    # and the payload's finding count stays pinned at the injected steps.
+    noise = rng.normal(0.0, 0.004) if jitter else 0.0
+    p50 = min(1.0, max(0.0, perf + noise))
+    return SensorBaseline(
+        sensor_id=sensor_id,
+        sensor_type="COMPUTATION" if sensor_id % 3 else "NETWORK",
+        median_perf=p50,
+        p95_perf=min(1.0, p50 + 0.01),
+        count=64,
+        standard_us=40.0 + sensor_id,
+    )
+
+
+def _build_store(root: str) -> RunStore:
+    rng = np.random.Generator(np.random.PCG64(20180224))
+    store = RunStore(root)
+    for index in range(N_MAIN):
+        sensors = tuple(
+            _baseline(
+                rng,
+                sensor_id,
+                0.72 if sensor_id == 3 and index >= PERF_DROP_AT else 0.97,
+                jitter=sensor_id == 3,
+            )
+            for sensor_id in range(N_SENSORS)
+        )
+        total = 1.0e6 * (1.08 if index >= TIME_RISE_AT else 1.0)
+        store.append(
+            RunRecord(
+                fingerprint=MAIN_FP,
+                label=f"run-{index:03d}",
+                total_time_us=total + rng.normal(0.0, 1500.0),
+                intra_events=int(rng.integers(0, 3)),
+                sensors=sensors,
+            )
+        )
+    for index in range(N_QUIET):
+        store.append(
+            RunRecord(
+                fingerprint=QUIET_FP,
+                label=f"side-{index:03d}",
+                total_time_us=5.0e5 + rng.normal(0.0, 800.0),
+                sensors=tuple(
+                    _baseline(rng, sensor_id, 0.98) for sensor_id in range(4)
+                ),
+            )
+        )
+    return store
+
+
+def _hunter() -> RegressionHunter:
+    return RegressionHunter(
+        detector=EDivisive(
+            seed=20180224, permutations=199, significance=0.05, min_segment=5
+        )
+    )
+
+
+def test_history_scan_throughput():
+    with tempfile.TemporaryDirectory() as root:
+        store = _build_store(root)
+        assert store.total_runs() == N_MAIN + N_QUIET >= 200
+
+        t0 = time.perf_counter()
+        scan = _hunter().scan_store(store)
+        seconds = time.perf_counter() - t0
+
+        # Gate 1: bit-identical findings from an independent second pass.
+        again = _hunter().scan_store(store)
+        assert scan.findings == again.findings
+        assert scan.runs_scanned == again.runs_scanned
+
+        # Gate 2: both injected steps recovered within +-1 run, on the
+        # right trajectory, as regressions.
+        perf_hits = [
+            f
+            for f in scan.regressions
+            if f.fingerprint == MAIN_FP and f.series == "sensor[3].median_perf"
+        ]
+        assert perf_hits and abs(perf_hits[0].change.index - PERF_DROP_AT) <= 1
+        time_hits = [
+            f
+            for f in scan.regressions
+            if f.fingerprint == MAIN_FP and f.series == "run.total_time_us"
+        ]
+        assert time_hits and abs(time_hits[0].change.index - TIME_RISE_AT) <= 1
+
+        # Gate 3: the quiet side trajectory stays quiet.
+        assert not [f for f in scan.findings if f.fingerprint == QUIET_FP]
+
+        payload = {
+            "benchmark": "history scan: e-divisive hunt over a 240-run store",
+            "gate": {
+                "deterministic": "two scans bit-identical",
+                "injected": {
+                    "sensor[3].median_perf": PERF_DROP_AT,
+                    "run.total_time_us": TIME_RISE_AT,
+                },
+                "quiet_trajectory_findings": 0,
+            },
+            "results": {
+                "runs": store.total_runs(),
+                "series_scanned": scan.series_scanned,
+                "series_skipped": scan.series_skipped,
+                "findings": len(scan.findings),
+                "regressions": len(scan.regressions),
+                "seconds": round(seconds, 4),
+                "runs_per_s": round(store.total_runs() / seconds, 1),
+                "series_per_s": round(scan.series_scanned / seconds, 1),
+            },
+        }
+        write_payload(JSON_PATH, payload)
+        print(
+            f"\nhistory scan: {store.total_runs()} runs / "
+            f"{scan.series_scanned} series in {seconds:.3f}s "
+            f"({store.total_runs() / seconds:.0f} runs/s), "
+            f"{len(scan.regressions)} regression(s)"
+        )

@@ -67,6 +67,9 @@ class VSensorRun:
     report: VarianceReport | None = None
     #: delivery counters when the run used a simulated lossy channel
     channel_stats: dict[str, int] | None = None
+    #: the :class:`~repro.history.RunRecord` appended to the cross-run
+    #: history store (seq assigned), when ``history_store`` was given
+    history_entry: object | None = None
 
 
 def compile_and_instrument(
@@ -189,6 +192,9 @@ def run_vsensor(
     governor=None,
     overhead_budget: float | None = None,
     governor_policy: str | None = None,
+    history_store=None,
+    history_label: str = "",
+    history_workload: str = "",
 ) -> VSensorRun:
     """Compile, instrument, simulate and analyze one program.
 
@@ -233,6 +239,14 @@ def run_vsensor(
     ``overhead_budget`` and/or ``governor_policy`` instead.  All three
     ``None`` (the default) installs no governor — every engine tier is
     bit-identical to the ungoverned historical behavior.
+
+    ``history_store`` appends this run's sensor baselines to a cross-run
+    regression history (:mod:`repro.history`): pass a
+    :class:`~repro.history.RunStore` or a directory path.  The trajectory
+    key is a content fingerprint of (source, machine, detector, engine,
+    max_depth), so only bit-identical configurations share a history;
+    ``history_label`` / ``history_workload`` annotate the record.  The
+    appended record lands in :attr:`VSensorRun.history_entry`.
     """
     from repro.runtime.channel import ChannelConfig, LossyChannel
     from repro.runtime.server import AnalysisServer
@@ -306,6 +320,26 @@ def run_vsensor(
         run.report = runtime.report(sim.total_time)
     if run.channel_stats is not None:
         run.report.channel_stats = dict(run.channel_stats)
+    if history_store is not None:
+        from repro.history import RunStore, record_from_run, run_fingerprint
+
+        if not isinstance(history_store, RunStore):
+            history_store = RunStore(history_store)
+        key = run_fingerprint(
+            source,
+            machine,
+            detector_config,
+            engine=engine,
+            max_depth=max_depth,
+        )
+        with obs.tracer.span("history.append", fingerprint=key[:12]):
+            run.history_entry = history_store.append(
+                record_from_run(
+                    run, key, label=history_label, workload=history_workload
+                )
+            )
+            if obs.enabled:
+                obs.metrics.counter("history.appends").inc()
     return run
 
 

@@ -6,6 +6,7 @@ Subcommands mirror the workflow steps::
     python -m repro instrument prog.vsn           # steps 3-5: emit modified source
     python -m repro run prog.vsn --ranks 32 ...   # steps 6-8: simulate + report
     python -m repro workloads                     # list the bundled analogues
+    python -m repro history append|show|scan ...  # cross-run regression hunting
 
 ``run`` accepts fault injections in a compact syntax::
 
@@ -192,6 +193,9 @@ def cmd_run(args) -> int:
         obs=obs,
         overhead_budget=args.overhead_budget,
         governor_policy=args.governor_policy,
+        history_store=args.history_store,
+        history_label=args.history_label or "",
+        history_workload=args.workload or "",
         **_compile_kwargs(args),
     )
     wall_s = time.perf_counter() - wall_t0
@@ -209,6 +213,12 @@ def cmd_run(args) -> int:
         print("profile written to out/profile.txt")
     print(f"instrumented : {run.static.plan.summary()}")
     print(f"total time   : {run.sim.total_time / 1e3:.2f} ms")
+    if run.history_entry is not None:
+        entry = run.history_entry
+        print(
+            f"history      : appended run {entry.seq} to "
+            f"{entry.fingerprint[:12]} in {args.history_store}"
+        )
     if args.profile_passes:
         _print_pass_profile(run.static)
     if obs is not None:
@@ -307,6 +317,104 @@ def _run_sharded(args, source: str, faults, obs) -> int:
     print(f"\njob {first} report:")
     print(run.jobs[first].report.summary())
     return 0
+
+
+def _history_hunter(args):
+    from repro.history import EDivisive, RegressionHunter
+
+    detector = EDivisive(
+        seed=args.scan_seed,
+        permutations=args.permutations,
+        significance=args.significance,
+        min_segment=args.min_segment,
+    )
+    return RegressionHunter(detector=detector)
+
+
+def cmd_history_append(args) -> int:
+    """Run one configuration and append its baselines to a store."""
+    source = _load_source(args)
+    machine = MachineConfig(
+        n_ranks=args.ranks, ranks_per_node=args.ranks_per_node, seed=args.seed
+    )
+    faults = [parse_fault(spec) for spec in args.fault or []]
+    run = run_vsensor(
+        source,
+        machine,
+        faults=faults,
+        window_us=args.window_ms * 1000.0,
+        engine=args.engine,
+        history_store=args.store,
+        history_label=args.label or "",
+        history_workload=args.workload or "",
+        **_compile_kwargs(args),
+    )
+    entry = run.history_entry
+    print(
+        f"appended run {entry.seq} to {entry.fingerprint} "
+        f"({len(entry.sensors)} sensors, "
+        f"total {entry.total_time_us / 1e3:.2f} ms, "
+        f"intra={entry.intra_events} inter={entry.inter_events})"
+    )
+    return 0
+
+
+def cmd_history_show(args) -> int:
+    """List a store's trajectories, or one trajectory's runs."""
+    from repro.history import RunStore
+
+    store = RunStore(args.store)
+    if args.fingerprint:
+        runs = store.runs(args.fingerprint)
+        if not runs:
+            print(f"no runs for fingerprint {args.fingerprint}")
+            return 0
+        print(f"{args.fingerprint}: {len(runs)} run(s)")
+        for record in runs:
+            label = f" [{record.label}]" if record.label else ""
+            workload = f" {record.workload}" if record.workload else ""
+            print(
+                f"  {record.seq:4d}{workload}{label} "
+                f"total={record.total_time_us / 1e3:.2f}ms "
+                f"intra={record.intra_events} inter={record.inter_events} "
+                f"sensors={len(record.sensors)}"
+            )
+        return 0
+    keys = store.fingerprints()
+    if not keys:
+        print(f"empty history store: {args.store}")
+        return 0
+    print(f"history store {args.store}: {len(keys)} trajectory(ies)")
+    for key in keys:
+        runs = store.runs(key)
+        last = runs[-1]
+        tag = last.workload or last.label or "-"
+        print(f"  {key[:16]}…  runs={len(runs)}  last={tag}")
+    return 0
+
+
+def cmd_history_scan(args) -> int:
+    """Hunt a store (or bench-file trajectory) for change points.
+
+    Exit status: 0 when no regression was found, 3 when at least one
+    was — distinct from 2 (usage/config errors) so CI can gate on it.
+    """
+    hunter = _history_hunter(args)
+    if args.bench_dogfood:
+        from repro.history import scan_bench_trajectory
+
+        scan = scan_bench_trajectory(args.bench_dogfood, hunter=hunter)
+    else:
+        from repro.history import RunStore
+
+        if not args.store:
+            raise ReproError("give --store DIR or --bench-dogfood FILE...")
+        scan = hunter.scan_store(RunStore(args.store), fingerprint=args.fingerprint)
+    print(scan.summary())
+    if args.explain:
+        for diag in scan.diagnostics():
+            print("  " + diag.format())
+    return 3 if scan.regressions else 0
 
 
 def cmd_workloads(args) -> int:
@@ -432,7 +540,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a flame summary of internal spans and the observability "
         "self-overhead as a fraction of wall time",
     )
+    p_run.add_argument(
+        "--history-store",
+        default=None,
+        help="append this run's sensor baselines to the cross-run regression "
+        "history store at this directory (see 'repro history')",
+    )
+    p_run.add_argument(
+        "--history-label",
+        default=None,
+        help="free-form label stored with the appended history record "
+        "(e.g. a commit hash or CI run id)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="cross-run regression history: append runs, show trajectories, "
+        "hunt for change points",
+    )
+    hist_sub = p_hist.add_subparsers(dest="history_command", required=True)
+
+    p_happend = hist_sub.add_parser(
+        "append", help="run one configuration and append its baselines"
+    )
+    add_program_args(p_happend)
+    p_happend.add_argument("--store", required=True, help="history store directory")
+    p_happend.add_argument("--label", default=None, help="label for this record")
+    p_happend.add_argument("--ranks", type=int, default=32)
+    p_happend.add_argument("--ranks-per-node", type=int, default=8)
+    p_happend.add_argument("--seed", type=int, default=20180224)
+    p_happend.add_argument("--window-ms", type=float, default=20.0)
+    p_happend.add_argument("--fault", action="append", help="inject a fault")
+    p_happend.add_argument(
+        "--engine", choices=("bytecode", "ast", "lockstep"), default="bytecode"
+    )
+    p_happend.set_defaults(func=cmd_history_append)
+
+    p_hshow = hist_sub.add_parser(
+        "show", help="list trajectories, or one trajectory's runs"
+    )
+    p_hshow.add_argument("--store", required=True, help="history store directory")
+    p_hshow.add_argument(
+        "--fingerprint", default=None, help="show this trajectory's runs"
+    )
+    p_hshow.set_defaults(func=cmd_history_show)
+
+    p_hscan = hist_sub.add_parser(
+        "scan",
+        help="hunt trajectories for change points (exit 3 when a "
+        "regression is found)",
+    )
+    p_hscan.add_argument("--store", default=None, help="history store directory")
+    p_hscan.add_argument(
+        "--fingerprint", default=None, help="scan only this trajectory"
+    )
+    p_hscan.add_argument(
+        "--bench-dogfood",
+        nargs="+",
+        metavar="BENCH_JSON",
+        help="instead of a store, hunt ordered snapshots of the repo's own "
+        "BENCH_*.json payloads (grouped by basename)",
+    )
+    p_hscan.add_argument(
+        "--scan-seed",
+        type=int,
+        default=20180224,
+        help="seed for the e-divisive permutation tests (results are "
+        "bit-identical for a fixed seed)",
+    )
+    p_hscan.add_argument(
+        "--permutations",
+        type=int,
+        default=199,
+        help="permutations per significance test",
+    )
+    p_hscan.add_argument(
+        "--significance",
+        type=float,
+        default=0.05,
+        help="p-value at or below which a change point is accepted",
+    )
+    p_hscan.add_argument(
+        "--min-segment",
+        type=int,
+        default=5,
+        help="minimum runs on each side of any change point",
+    )
+    p_hscan.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print findings as structured diagnostics",
+    )
+    p_hscan.set_defaults(func=cmd_history_scan)
 
     p_wl = sub.add_parser("workloads", help="list bundled workload analogues")
     p_wl.set_defaults(func=cmd_workloads)

@@ -70,6 +70,11 @@ class ReasonCode(enum.Enum):
     STATIC_RULE_VETO = "static-rule-veto"
     # -- instrument
     UNSPLICEABLE = "unspliceable"
+    # -- history: cross-run change-point findings (repro/history); the
+    #    span carries the trajectory:metric name and the run index
+    PERF_REGRESSION = "perf-regression"
+    PERF_IMPROVEMENT = "perf-improvement"
+    PERF_SHIFT = "perf-shift"
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,75 @@
+"""Cross-run regression history: persistent baselines + change-point hunting.
+
+vSensor's runtime answers "which rank is slow *right now*?"; this
+subsystem answers the fleet question "*when* did this job get slower?".
+
+* :mod:`repro.history.store` — :class:`RunStore`, an append-only
+  JSONL-per-fingerprint store of per-run sensor baselines, keyed by the
+  content-hash configuration fingerprint so runs are only compared
+  against bit-identical configurations.
+* :mod:`repro.history.edivisive` — :class:`EDivisive`, seeded
+  e-divisive-means change-point detection with permutation significance
+  testing (exactly reproducible: no wall clock, no global RNG).
+* :mod:`repro.history.hunter` — :class:`RegressionHunter`, which walks a
+  store and emits classified :class:`Finding` / :class:`ChangePoint`
+  results through the :class:`~repro.diagnostics.Diagnostic` machinery
+  and the obs layer.
+* :mod:`repro.history.dogfood` — feeds the repo's own ``BENCH_*.json``
+  payloads through the hunter, so CI hunts the project that built it.
+
+Entry points: ``run_vsensor(history_store=...)`` auto-appends each run,
+and the ``repro history append/show/scan`` CLI drives stores directly.
+"""
+
+from repro.history.dogfood import (
+    flatten_metrics,
+    load_bench_trajectory,
+    scan_bench_trajectory,
+)
+from repro.history.edivisive import ChangePoint, EDivisive
+from repro.history.hunter import (
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    NEUTRAL,
+    Finding,
+    HistoryScan,
+    RegressionHunter,
+    classify_metric,
+    store_series,
+)
+from repro.history.store import (
+    SCHEMA_VERSION,
+    HistoryStoreError,
+    RunRecord,
+    RunStore,
+    SensorBaseline,
+    decode_record,
+    encode_record,
+    record_from_run,
+    run_fingerprint,
+)
+
+__all__ = [
+    "HIGHER_IS_BETTER",
+    "LOWER_IS_BETTER",
+    "NEUTRAL",
+    "SCHEMA_VERSION",
+    "ChangePoint",
+    "EDivisive",
+    "Finding",
+    "HistoryScan",
+    "HistoryStoreError",
+    "RegressionHunter",
+    "RunRecord",
+    "RunStore",
+    "SensorBaseline",
+    "classify_metric",
+    "decode_record",
+    "encode_record",
+    "flatten_metrics",
+    "load_bench_trajectory",
+    "record_from_run",
+    "run_fingerprint",
+    "scan_bench_trajectory",
+    "store_series",
+]

@@ -1,0 +1,207 @@
+"""Seedless-style e-divisive-means change-point detection.
+
+The detector answers "at which run indices did this series change
+distribution?" the way Hunter does for Cassandra benchmarks (*Hunter:
+Using Change Point Detection to Hunt for Performance Regressions*): the
+energy-statistic divergence of Matteson & James is maximized over every
+admissible split of a segment, the best split is accepted only if a
+permutation test says a divergence that large is unlikely under
+exchangeability, and accepted splits recurse into both halves.
+
+Reproducibility is a hard contract here, not a nicety: the permutation
+test draws from one explicitly seeded PCG64 generator created fresh per
+:meth:`EDivisive.detect` call — no wall-clock, no global ``random`` /
+``numpy.random`` state — and segments are processed in deterministic FIFO
+order, so the same ``(seed, series)`` pair always yields a bit-identical
+:class:`ChangePoint` list.  The golden and property suites in
+``tests/history`` pin exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class ChangePoint:
+    """One accepted distribution change in a series.
+
+    ``index`` is the first index of the *new* regime: ``series[:index]``
+    is "before", ``series[index:]`` (up to the next change point) is
+    "after".  Medians are taken over the two sides of the segment the
+    split was found in, so nested changes don't bleed into each other's
+    magnitudes.
+    """
+
+    index: int
+    statistic: float
+    p_value: float
+    before_median: float
+    after_median: float
+
+    @property
+    def direction(self) -> str:
+        """``"up"`` / ``"down"`` / ``"flat"`` movement of the median."""
+        if self.after_median > self.before_median:
+            return "up"
+        if self.after_median < self.before_median:
+            return "down"
+        return "flat"
+
+    @property
+    def magnitude(self) -> float:
+        """Relative median change; absolute change when before is 0."""
+        if self.before_median != 0.0:
+            return (self.after_median - self.before_median) / abs(self.before_median)
+        return self.after_median - self.before_median
+
+    def describe(self) -> str:
+        pct = self.magnitude * 100.0
+        return (
+            f"run {self.index}: {self.direction} "
+            f"{self.before_median:.6g} -> {self.after_median:.6g} "
+            f"({pct:+.1f}%), p={self.p_value:.4g}"
+        )
+
+
+def _pair_sums(x: np.ndarray) -> np.ndarray:
+    """Inclusive 2-D prefix sums of the pairwise |x_i - x_j| matrix,
+    padded so ``P[a, b] = sum_{i<a, j<b} |x_i - x_j|``."""
+    d = np.abs(x[:, None] - x[None, :])
+    n = len(x)
+    p = np.zeros((n + 1, n + 1))
+    np.cumsum(d, axis=0, out=d)
+    np.cumsum(d, axis=1, out=d)
+    p[1:, 1:] = d
+    return p
+
+
+def _q_statistics(x: np.ndarray, min_segment: int) -> tuple[np.ndarray, np.ndarray]:
+    """Matteson-James Q divergence for every admissible split of ``x``.
+
+    Returns ``(splits, q)`` where ``splits[i]`` elements go to the left of
+    split ``i``.  Admissible splits leave at least ``min_segment`` points
+    (and never fewer than 2, so the within-sample pair means exist) on
+    each side.
+    """
+    n = len(x)
+    lo = max(min_segment, 2)
+    splits = np.arange(lo, n - lo + 1)
+    if len(splits) == 0:
+        return splits, np.zeros(0)
+    p = _pair_sums(x)
+    diag = p[splits, splits]
+    row = p[splits, n]
+    total = p[n, n]
+    m = splits.astype(np.float64)
+    k = n - m
+    within_a = diag / 2.0  # each unordered pair counted twice in P
+    within_b = (total - 2.0 * row + diag) / 2.0
+    cross = row - diag
+    divergence = (
+        2.0 * cross / (m * k)
+        - 2.0 * within_a / (m * (m - 1.0))
+        - 2.0 * within_b / (k * (k - 1.0))
+    )
+    return splits, (m * k / (m + k)) * divergence
+
+
+class EDivisive:
+    """Hierarchical e-divisive-means detector with seeded permutation tests.
+
+    ``significance`` is the per-split acceptance level for the permutation
+    p-value ``(1 + #{permuted max-Q >= observed}) / (1 + permutations)``;
+    note the smallest reachable p-value is ``1 / (1 + permutations)``, so
+    ``permutations`` must be large enough for ``significance`` to be
+    reachable at all.  ``min_segment`` is the minimum number of runs on
+    each side of any split (also the minimum regime length).
+    """
+
+    def __init__(
+        self,
+        seed: int = 20180224,
+        permutations: int = 199,
+        significance: float = 0.05,
+        min_segment: int = 5,
+        max_points: int = 32,
+    ) -> None:
+        if permutations < 1:
+            raise ValueError("permutations must be >= 1")
+        if not 0.0 < significance <= 1.0:
+            raise ValueError("significance must be in (0, 1]")
+        if min_segment < 2:
+            raise ValueError("min_segment must be >= 2 (pair means need 2 points)")
+        if 1.0 / (1.0 + permutations) > significance:
+            raise ValueError(
+                f"{permutations} permutations cannot reach p <= {significance}; "
+                "raise permutations or loosen significance"
+            )
+        self.seed = seed
+        self.permutations = permutations
+        self.significance = significance
+        self.min_segment = min_segment
+        self.max_points = max_points
+
+    def detect(self, series) -> list[ChangePoint]:
+        """All significant change points of ``series``, sorted by index.
+
+        A fresh generator is created per call, so a detector instance is
+        reusable and two calls with equal input are bit-identical.
+        """
+        x = np.asarray(series, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("series must be one-dimensional")
+        if not np.isfinite(x).all():
+            raise ValueError("series must be finite (filter NaN/inf upstream)")
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        found: list[ChangePoint] = []
+        # FIFO over (lo, hi) half-open segments: deterministic scan order,
+        # hence a deterministic permutation-draw sequence.
+        pending: list[tuple[int, int]] = [(0, len(x))]
+        while pending and len(found) < self.max_points:
+            lo, hi = pending.pop(0)
+            accepted = self._test_segment(x, lo, hi, rng)
+            if accepted is None:
+                continue
+            found.append(accepted)
+            pending.append((lo, accepted.index))
+            pending.append((accepted.index, hi))
+        found.sort(key=lambda cp: cp.index)
+        return found
+
+    # -- internals ---------------------------------------------------------
+
+    def _test_segment(
+        self, x: np.ndarray, lo: int, hi: int, rng: np.random.Generator
+    ) -> ChangePoint | None:
+        segment = x[lo:hi]
+        if len(segment) < 2 * max(self.min_segment, 2):
+            return None
+        splits, q = _q_statistics(segment, self.min_segment)
+        if len(q) == 0:
+            return None
+        best = int(np.argmax(q))
+        observed = float(q[best])
+        if observed <= 0.0:
+            # A constant (or divergence-free) segment: never significant,
+            # and skipping the permutation loop keeps constant series cheap.
+            return None
+        exceed = 0
+        for _ in range(self.permutations):
+            shuffled = rng.permutation(segment)
+            _, perm_q = _q_statistics(shuffled, self.min_segment)
+            if len(perm_q) and float(perm_q.max()) >= observed:
+                exceed += 1
+        p_value = (1.0 + exceed) / (1.0 + self.permutations)
+        if p_value > self.significance:
+            return None
+        split = int(splits[best])
+        return ChangePoint(
+            index=lo + split,
+            statistic=observed,
+            p_value=p_value,
+            before_median=float(np.median(segment[:split])),
+            after_median=float(np.median(segment[split:])),
+        )

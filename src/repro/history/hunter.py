@@ -1,0 +1,278 @@
+"""Regression hunter: walk a history store, emit change-point findings.
+
+The hunter turns trajectories into per-metric series, runs the seeded
+:class:`~repro.history.edivisive.EDivisive` detector over each, and
+classifies every accepted change point against the metric's orientation
+(is up good, bad, or neither?) into a :class:`Finding` — which threads
+into the repo's existing :class:`~repro.diagnostics.Diagnostic` machinery
+(stable ``perf-regression`` / ``perf-improvement`` / ``perf-shift``
+reason codes) and the obs layer (``history.scan`` spans,
+``history.changepoints`` / ``history.regressions`` counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.diagnostics import Diagnostic, ReasonCode, Severity, Span
+from repro.history.edivisive import ChangePoint, EDivisive
+from repro.history.store import RunRecord, RunStore
+from repro.obs import NULL_OBS, Obs
+
+#: metric orientations: does the number going up mean better or worse?
+HIGHER_IS_BETTER = "higher"
+LOWER_IS_BETTER = "lower"
+NEUTRAL = "neutral"
+
+#: substring heuristics for bench-file metrics; first match wins, and
+#: longer/more specific tokens come first so "speedup" beats "seconds"
+_LOWER_TOKENS = (
+    "overhead",
+    "seconds",
+    "latency",
+    "duration",
+    "time_us",
+    "total_time",
+    "cost",
+    "misses",
+    "dropped",
+    "retries",
+    "bytes",
+)
+_HIGHER_TOKENS = (
+    "speedup",
+    "f_score",
+    "fscore",
+    "precision",
+    "recall",
+    "coverage",
+    "throughput",
+    "rows_per_s",
+    "runs_per_s",
+    "perf",
+    "hits",
+)
+
+
+def classify_metric(name: str) -> str:
+    """Orientation of a metric by name; unknown names are NEUTRAL."""
+    lowered = name.lower()
+    for token in _HIGHER_TOKENS:
+        if token in lowered:
+            return HIGHER_IS_BETTER
+    for token in _LOWER_TOKENS:
+        if token in lowered:
+            return LOWER_IS_BETTER
+    return NEUTRAL
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One classified change point in one metric of one trajectory."""
+
+    fingerprint: str
+    series: str
+    #: "regression" | "improvement" | "shift"
+    kind: str
+    change: ChangePoint
+    #: label of the first run of the new regime, when the store knows it
+    run_label: str = ""
+
+    def describe(self) -> str:
+        where = f"{self.fingerprint[:12]}:{self.series}" if self.fingerprint else self.series
+        label = f" [{self.run_label}]" if self.run_label else ""
+        return f"{self.kind} {where} @ {self.change.describe()}{label}"
+
+    def to_diagnostic(self) -> Diagnostic:
+        code = {
+            "regression": ReasonCode.PERF_REGRESSION,
+            "improvement": ReasonCode.PERF_IMPROVEMENT,
+        }.get(self.kind, ReasonCode.PERF_SHIFT)
+        severity = Severity.WARNING if self.kind == "regression" else Severity.NOTE
+        name = f"{self.fingerprint[:12]}:{self.series}" if self.fingerprint else self.series
+        return Diagnostic(
+            severity=severity,
+            code=code,
+            message=self.change.describe()
+            + (f" [{self.run_label}]" if self.run_label else ""),
+            span=Span(filename=name, line=self.change.index),
+            origin="history.scan",
+        )
+
+
+@dataclass(slots=True)
+class HistoryScan:
+    """Outcome of one hunter pass over one or more trajectories."""
+
+    findings: list[Finding] = field(default_factory=list)
+    runs_scanned: int = 0
+    series_scanned: int = 0
+    #: series skipped for being too short or containing non-finite values
+    series_skipped: int = 0
+
+    def of_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return self.of_kind("regression")
+
+    @property
+    def improvements(self) -> list[Finding]:
+        return self.of_kind("improvement")
+
+    def diagnostics(self) -> list[Diagnostic]:
+        return [f.to_diagnostic() for f in self.findings]
+
+    def merge(self, other: "HistoryScan") -> None:
+        self.findings.extend(other.findings)
+        self.runs_scanned += other.runs_scanned
+        self.series_scanned += other.series_scanned
+        self.series_skipped += other.series_skipped
+
+    def summary(self) -> str:
+        lines = [
+            f"history scan — {self.runs_scanned} runs, "
+            f"{self.series_scanned} series ({self.series_skipped} skipped): "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{len(self.of_kind('shift'))} shift(s)"
+        ]
+        lines.extend("  " + f.describe() for f in self.findings)
+        return "\n".join(lines)
+
+
+def _classify(orientation: str, change: ChangePoint) -> str:
+    if change.direction == "flat" or orientation == NEUTRAL:
+        return "shift"
+    worse = change.direction == ("down" if orientation == HIGHER_IS_BETTER else "up")
+    return "regression" if worse else "improvement"
+
+
+def store_series(runs: list[RunRecord]) -> dict[str, tuple[str, list[float]]]:
+    """Per-metric ``name -> (orientation, series)`` view of one trajectory.
+
+    Sensor series exist only for sensors present in *every* run of the
+    trajectory — a sensor appearing or vanishing mid-trajectory is a
+    config/selection change the fingerprint should have caught, and a
+    misaligned series would dowse for change points at the wrong indices.
+    """
+    out: dict[str, tuple[str, list[float]]] = {
+        "run.total_time_us": (LOWER_IS_BETTER, [r.total_time_us for r in runs]),
+        "run.intra_events": (NEUTRAL, [float(r.intra_events) for r in runs]),
+        "run.inter_events": (NEUTRAL, [float(r.inter_events) for r in runs]),
+        "run.coverage_confidence": (
+            HIGHER_IS_BETTER,
+            [r.coverage_confidence for r in runs],
+        ),
+        "run.sampling_coverage": (
+            HIGHER_IS_BETTER,
+            [r.sampling_coverage for r in runs],
+        ),
+    }
+    if all(r.f_score is not None for r in runs):
+        out["run.f_score"] = (HIGHER_IS_BETTER, [float(r.f_score) for r in runs])
+    common: set[int] | None = None
+    for record in runs:
+        ids = {s.sensor_id for s in record.sensors}
+        common = ids if common is None else (common & ids)
+    for sensor_id in sorted(common or ()):
+        rows = [
+            next(s for s in r.sensors if s.sensor_id == sensor_id) for r in runs
+        ]
+        out[f"sensor[{sensor_id}].median_perf"] = (
+            HIGHER_IS_BETTER,
+            [s.median_perf for s in rows],
+        )
+        out[f"sensor[{sensor_id}].p95_perf"] = (
+            HIGHER_IS_BETTER,
+            [s.p95_perf for s in rows],
+        )
+        out[f"sensor[{sensor_id}].standard_us"] = (
+            LOWER_IS_BETTER,
+            [s.standard_us for s in rows],
+        )
+    return out
+
+
+class RegressionHunter:
+    """Drives the detector over stores, raw series maps, or trajectories."""
+
+    def __init__(self, detector: EDivisive | None = None, obs: Obs | None = None) -> None:
+        self.detector = detector or EDivisive()
+        self.obs = obs or NULL_OBS
+
+    # -- raw series --------------------------------------------------------
+
+    def scan_series(
+        self,
+        series: dict[str, list[float]],
+        fingerprint: str = "",
+        orientations: dict[str, str] | None = None,
+        labels: list[str] | None = None,
+        runs_scanned: int | None = None,
+    ) -> HistoryScan:
+        """Hunt a ``name -> series`` map; orientation defaults to the
+        name heuristics of :func:`classify_metric`."""
+        scan = HistoryScan()
+        metrics = self.obs.metrics if self.obs.enabled else None
+        with self.obs.tracer.span(
+            "history.scan", fingerprint=fingerprint[:12], series=len(series)
+        ):
+            for name in sorted(series):
+                values = np.asarray(series[name], dtype=np.float64)
+                if len(values) < 2 * self.detector.min_segment or not np.isfinite(
+                    values
+                ).all():
+                    scan.series_skipped += 1
+                    continue
+                scan.series_scanned += 1
+                orientation = (orientations or {}).get(name) or classify_metric(name)
+                for change in self.detector.detect(values):
+                    label = ""
+                    if labels is not None and change.index < len(labels):
+                        label = labels[change.index]
+                    scan.findings.append(
+                        Finding(
+                            fingerprint=fingerprint,
+                            series=name,
+                            kind=_classify(orientation, change),
+                            change=change,
+                            run_label=label,
+                        )
+                    )
+            lengths = [len(v) for v in series.values()]
+            scan.runs_scanned = (
+                runs_scanned if runs_scanned is not None else max(lengths, default=0)
+            )
+            if metrics is not None:
+                metrics.counter("history.series_scanned").inc(scan.series_scanned)
+                metrics.counter("history.runs_scanned").inc(scan.runs_scanned)
+                metrics.counter("history.changepoints").inc(len(scan.findings))
+                metrics.counter("history.regressions").inc(len(scan.regressions))
+        return scan
+
+    # -- stores ------------------------------------------------------------
+
+    def scan_trajectory(self, runs: list[RunRecord], fingerprint: str = "") -> HistoryScan:
+        if not runs:
+            return HistoryScan()
+        named = store_series(runs)
+        return self.scan_series(
+            {name: values for name, (_, values) in named.items()},
+            fingerprint=fingerprint or runs[0].fingerprint,
+            orientations={name: orient for name, (orient, _) in named.items()},
+            labels=[r.label for r in runs],
+            runs_scanned=len(runs),
+        )
+
+    def scan_store(self, store: RunStore, fingerprint: str | None = None) -> HistoryScan:
+        """Hunt one fingerprint's trajectory, or every trajectory in the
+        store when ``fingerprint`` is ``None``."""
+        keys = [fingerprint] if fingerprint is not None else store.fingerprints()
+        scan = HistoryScan()
+        for key in keys:
+            scan.merge(self.scan_trajectory(store.runs(key), fingerprint=key))
+        return scan

@@ -1,0 +1,148 @@
+"""Dogfood suite: the hunter over the repo's own ``BENCH_*.json`` payloads.
+
+The clean trajectory (repeated snapshots of the checked-in bench files)
+must be quiet — constant series have zero energy divergence, so quietness
+is deterministic, not statistical.  A synthetically degraded copy of one
+bench metric must be flagged as a regression at exactly the snapshot the
+degradation was introduced.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.history import (
+    flatten_metrics,
+    load_bench_trajectory,
+    scan_bench_trajectory,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+pytestmark = pytest.mark.skipif(
+    not BENCH_FILES, reason="no checked-in BENCH_*.json payloads"
+)
+
+
+def _snapshots(tmp_path: Path, name: str, docs) -> list[str]:
+    """Write ordered snapshot copies ``s00/<name>, s01/<name>, ...``."""
+    paths = []
+    for index, doc in enumerate(docs):
+        snap_dir = tmp_path / f"s{index:02d}"
+        snap_dir.mkdir(exist_ok=True)
+        path = snap_dir / name
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        paths.append(str(path))
+    return paths
+
+
+def test_checked_in_payloads_have_metrics():
+    for path in BENCH_FILES:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        metrics = flatten_metrics(doc)
+        assert metrics, f"{path.name} flattened to no numeric leaves"
+        assert all(isinstance(v, float) for v in metrics.values())
+
+
+def test_single_snapshot_scan_is_quiet():
+    """Today's tree: one snapshot per bench -> length-1 series -> quiet.
+    This is exactly what the CI dogfood step runs."""
+    scan = scan_bench_trajectory([str(p) for p in BENCH_FILES])
+    assert scan.findings == []
+    assert scan.regressions == []
+
+
+def test_clean_trajectory_is_quiet(tmp_path):
+    """Twelve identical snapshots of every checked-in bench: constant
+    series never reach significance, deterministically."""
+    paths = []
+    for bench in BENCH_FILES:
+        with open(bench, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        paths.extend(_snapshots(tmp_path, bench.name, [doc] * 12))
+    scan = scan_bench_trajectory(paths)
+    assert scan.runs_scanned == 12 * len(BENCH_FILES)
+    assert scan.series_scanned > 0
+    assert scan.findings == []
+
+
+def test_degraded_metric_is_flagged_at_the_right_run(tmp_path):
+    with open(REPO_ROOT / "BENCH_interp.json", encoding="utf-8") as fh:
+        base = json.load(fh)
+    degrade_from = 7
+    docs = []
+    for index in range(12):
+        doc = copy.deepcopy(base)
+        if index >= degrade_from:
+            doc["results"][0]["seconds"] = round(
+                doc["results"][0]["seconds"] * 1.6, 4
+            )
+        docs.append(doc)
+    paths = _snapshots(tmp_path, "BENCH_interp.json", docs)
+    scan = scan_bench_trajectory(paths)
+    hits = [f for f in scan.regressions if f.series == "results[0].seconds"]
+    assert len(hits) == 1, scan.summary()
+    assert hits[0].fingerprint == "BENCH_interp.json"
+    assert hits[0].change.index == degrade_from
+    assert hits[0].change.direction == "up"
+    # Nothing else moved, so nothing else may be flagged.
+    assert len(scan.findings) == 1
+
+
+def test_degraded_speedup_is_a_regression_too(tmp_path):
+    """Orientation: a *falling* speedup is a regression even though the
+    raw number moved down."""
+    with open(REPO_ROOT / "BENCH_interp.json", encoding="utf-8") as fh:
+        base = json.load(fh)
+    key = sorted(base["lockstep_speedups"])[0]
+    docs = []
+    for index in range(12):
+        doc = copy.deepcopy(base)
+        if index >= 6:
+            doc["lockstep_speedups"][key] = round(
+                doc["lockstep_speedups"][key] * 0.5, 4
+            )
+        docs.append(doc)
+    paths = _snapshots(tmp_path, "BENCH_interp.json", docs)
+    scan = scan_bench_trajectory(paths)
+    hits = [f for f in scan.regressions if key in f.series]
+    assert len(hits) == 1
+    assert hits[0].change.index == 6
+    assert hits[0].change.direction == "down"
+
+
+def test_metric_missing_from_a_snapshot_is_dropped(tmp_path):
+    with open(REPO_ROOT / "BENCH_interp.json", encoding="utf-8") as fh:
+        base = json.load(fh)
+    altered = copy.deepcopy(base)
+    del altered["lockstep_speedups"]
+    paths = _snapshots(tmp_path, "BENCH_interp.json", [base, altered, base])
+    trajectory = load_bench_trajectory(paths)["BENCH_interp.json"]
+    assert not any("lockstep_speedups" in metric for metric in trajectory)
+    assert all(len(series) == 3 for series in trajectory.values())
+
+
+def test_cli_dogfood_gate(tmp_path):
+    """The CI gate: exit 0 on the current tree, exit 3 on a degraded one."""
+    assert (
+        main(["history", "scan", "--bench-dogfood"] + [str(p) for p in BENCH_FILES])
+        == 0
+    )
+    with open(REPO_ROOT / "BENCH_interp.json", encoding="utf-8") as fh:
+        base = json.load(fh)
+    docs = []
+    for index in range(12):
+        doc = copy.deepcopy(base)
+        if index >= 7:
+            doc["results"][0]["seconds"] *= 1.5
+        docs.append(doc)
+    paths = _snapshots(tmp_path, "BENCH_interp.json", docs)
+    assert main(["history", "scan", "--bench-dogfood"] + paths) == 3

@@ -1,0 +1,154 @@
+"""Hypothesis property suite for the e-divisive change-point detector.
+
+Four statistical-correctness contracts:
+
+* an injected step change of known location and sufficient magnitude is
+  recovered within ±1 index, whatever the surrounding noise draw;
+* pure-noise series yield no change points at the configured
+  significance (pinned seeds — a permutation test has a *designed*
+  ~5 % false-positive rate, so the property quantifies over a fixed set
+  of draws, not over all of them);
+* detection (indices and p-values) is invariant under constant offset
+  and power-of-two scaling of the series — exact, not approximate,
+  because integer-valued inputs make every float op commute with the
+  transform;
+* the same seed yields bit-identical :class:`ChangePoint` lists, across
+  calls and across detector instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.history import EDivisive
+
+#: noise seeds verified quiet at significance 0.05 / 199 permutations for
+#: all three series lengths below; regenerate by scanning seeds if the
+#: detector's draw order ever changes on purpose
+QUIET_SEEDS = (0, 1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15)
+
+
+def _detector(**overrides) -> EDivisive:
+    kwargs = dict(seed=20180224, permutations=199, significance=0.05, min_segment=5)
+    kwargs.update(overrides)
+    return EDivisive(**kwargs)
+
+
+# -- step recovery ---------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    before=st.integers(min_value=8, max_value=25),
+    after=st.integers(min_value=8, max_value=25),
+    magnitude=st.floats(min_value=1.0, max_value=100.0),
+    noise_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_injected_step_is_recovered_within_one_index(
+    before, after, magnitude, noise_seed
+):
+    rng = np.random.Generator(np.random.PCG64(noise_seed))
+    series = rng.normal(0.0, 0.02 * magnitude / 50.0, before + after)
+    series[before:] += magnitude
+    points = _detector().detect(series)
+    assert any(abs(cp.index - before) <= 1 for cp in points), (
+        f"step at {before} not recovered: {[cp.index for cp in points]}"
+    )
+    # The recovered point must also move in the injected direction.
+    hit = min(points, key=lambda cp: abs(cp.index - before))
+    assert hit.direction == "up"
+    assert hit.p_value <= 0.05
+
+
+# -- pure noise stays quiet ------------------------------------------------
+
+
+@pytest.mark.parametrize("noise_seed", QUIET_SEEDS)
+@pytest.mark.parametrize("length", [40, 80, 120])
+def test_pure_noise_yields_no_change_points(noise_seed, length):
+    rng = np.random.Generator(np.random.PCG64(noise_seed))
+    series = rng.normal(0.0, 1.0, length)
+    assert _detector().detect(series) == []
+
+
+# -- offset / scale invariance ---------------------------------------------
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=1000), min_size=12, max_size=60
+    ),
+    offset=st.integers(min_value=-(10**6), max_value=10**6),
+    scale=st.sampled_from([0.25, 0.5, 2.0, 4.0, 1024.0]),
+)
+def test_detection_invariant_under_offset_and_scale(values, offset, scale):
+    base = np.asarray(values, dtype=np.float64)
+    transformed = scale * base + offset
+    det = _detector()
+    got_base = [(cp.index, cp.p_value) for cp in det.detect(base)]
+    got_tx = [(cp.index, cp.p_value) for cp in det.detect(transformed)]
+    assert got_base == got_tx
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=1000), min_size=12, max_size=40
+    )
+)
+def test_negation_flips_direction_but_not_location(values):
+    base = np.asarray(values, dtype=np.float64)
+    det = _detector()
+    forward = det.detect(base)
+    mirrored = det.detect(-base)
+    assert [cp.index for cp in forward] == [cp.index for cp in mirrored]
+    flip = {"up": "down", "down": "up", "flat": "flat"}
+    assert [flip[cp.direction] for cp in forward] == [
+        cp.direction for cp in mirrored
+    ]
+
+
+# -- seeded determinism ----------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=10,
+        max_size=50,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_same_seed_gives_bit_identical_changepoints(values, seed):
+    series = np.asarray(values, dtype=np.float64)
+    first = EDivisive(seed=seed, permutations=49, significance=0.05).detect(series)
+    again = EDivisive(seed=seed, permutations=49, significance=0.05).detect(series)
+    assert first == again  # dataclass equality over exact floats
+    # A detector instance is reusable: no RNG state bleeds across calls.
+    det = EDivisive(seed=seed, permutations=49, significance=0.05)
+    assert det.detect(series) == det.detect(series) == first
+
+
+# -- configuration guard rails ---------------------------------------------
+
+
+def test_unreachable_significance_is_rejected_up_front():
+    with pytest.raises(ValueError, match="cannot reach"):
+        EDivisive(permutations=9, significance=0.05)
+
+
+def test_non_finite_series_is_rejected():
+    with pytest.raises(ValueError, match="finite"):
+        _detector().detect([1.0, float("nan"), 2.0])
+
+
+def test_min_segment_lower_bound():
+    with pytest.raises(ValueError, match="min_segment"):
+        EDivisive(min_segment=1)

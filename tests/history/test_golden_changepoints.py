@@ -1,0 +1,132 @@
+"""Golden regression scenarios: pinned e-divisive findings, exactly.
+
+Each scenario is a hand-built run trajectory with a deterministic noise
+draw; the detector's full output — indices, p-values, statistics, medians,
+to the last bit — is compared against a checked-in JSON document.  When
+the detector changes on purpose, regenerate with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/history/test_golden_changepoints.py
+
+and commit the diff — drift in change-point output is always a reviewed
+change, never an accident.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.history import EDivisive
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+
+
+def _noise(seed: int, n: int, sigma: float) -> np.ndarray:
+    return np.random.Generator(np.random.PCG64(seed)).normal(0.0, sigma, n)
+
+
+def _single_step() -> np.ndarray:
+    series = _noise(101, 60, 0.05)
+    series[30:] += 1.0
+    return series
+
+
+def _ramp() -> np.ndarray:
+    # Gradual drift: e-divisive bisects it somewhere in the middle; the
+    # golden pins exactly where, so drift handling is a reviewed choice.
+    series = _noise(202, 60, 0.05)
+    series += np.linspace(0.0, 1.5, 60)
+    return series
+
+
+def _step_then_recover() -> np.ndarray:
+    series = _noise(303, 70, 0.05)
+    series[25:45] += 1.2
+    return series
+
+
+def _variance_only() -> np.ndarray:
+    # Same mean throughout; only the spread changes.  The energy
+    # statistic sees distributions, not just means — this scenario is
+    # what distinguishes it from a t-test scan.
+    quiet = _noise(404, 40, 0.02)
+    loud = _noise(405, 40, 0.6)
+    return np.concatenate([quiet, loud])
+
+
+SCENARIOS = {
+    "single_step": _single_step,
+    "ramp": _ramp,
+    "step_then_recover": _step_then_recover,
+    "variance_only": _variance_only,
+}
+
+
+def _detect(series: np.ndarray):
+    return EDivisive(
+        seed=20180224, permutations=199, significance=0.05, min_segment=5
+    ).detect(series)
+
+
+def _canonical(points) -> list[dict]:
+    return [
+        {
+            "index": cp.index,
+            "statistic": cp.statistic,
+            "p_value": cp.p_value,
+            "before_median": cp.before_median,
+            "after_median": cp.after_median,
+            "direction": cp.direction,
+        }
+        for cp in points
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_changepoints(name):
+    series = SCENARIOS[name]()
+    found = _canonical(_detect(series))
+    path = GOLDEN_DIR / f"{name}.json"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(found, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path.name} missing — regenerate with REPRO_UPDATE_GOLDEN=1"
+        )
+    with open(path, encoding="utf-8") as fh:
+        expected = json.load(fh)
+    assert found == expected  # exact floats: JSON repr round-trips doubles
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_two_consecutive_runs_are_bit_identical(name):
+    series = SCENARIOS[name]()
+    assert _detect(series) == _detect(series)
+
+
+def test_scenarios_find_the_expected_shapes():
+    """Structural sanity independent of the pinned floats, so a golden
+    regeneration that silently lost a scenario's point cannot pass."""
+    single = _detect(_single_step())
+    assert [cp.index for cp in single] == [30]
+    assert single[0].direction == "up"
+
+    ramp = _detect(_ramp())
+    assert ramp, "a drifting series must split somewhere"
+    assert all(cp.direction == "up" for cp in ramp)
+
+    recover = _detect(_step_then_recover())
+    directions = [(cp.index, cp.direction) for cp in recover]
+    assert any(abs(i - 25) <= 1 and d == "up" for i, d in directions)
+    assert any(abs(i - 45) <= 1 and d == "down" for i, d in directions)
+
+    variance = _detect(_variance_only())
+    assert any(abs(cp.index - 40) <= 1 for cp in variance)

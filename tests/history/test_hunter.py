@@ -1,0 +1,217 @@
+"""RegressionHunter: store scans, classification, obs wiring, CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.diagnostics import ReasonCode, Severity
+from repro.history import (
+    EDivisive,
+    HistoryScan,
+    RegressionHunter,
+    RunRecord,
+    RunStore,
+    SensorBaseline,
+    classify_metric,
+    store_series,
+)
+from repro.obs import Obs
+
+FP = "f" * 64
+
+
+def _baseline(sensor_id: int, perf: float, standard: float = 5.0) -> SensorBaseline:
+    return SensorBaseline(
+        sensor_id=sensor_id,
+        sensor_type="COMPUTATION",
+        median_perf=perf,
+        p95_perf=min(1.0, perf + 0.01),
+        count=10,
+        standard_us=standard,
+    )
+
+
+def _fill_store(store: RunStore, n_runs: int = 40, drop_at: int = 25) -> None:
+    for index in range(n_runs):
+        perf = 1.0 if index < drop_at else 0.7
+        store.append(
+            RunRecord(
+                fingerprint=FP,
+                label=f"commit-{index:03d}",
+                total_time_us=1000.0,
+                sensors=(_baseline(3, perf), _baseline(5, 0.99)),
+            )
+        )
+
+
+def test_scan_store_finds_injected_sensor_regression(tmp_path):
+    store = RunStore(tmp_path)
+    _fill_store(store)
+    scan = RegressionHunter().scan_store(store)
+    assert scan.runs_scanned == 40
+    hits = [f for f in scan.regressions if f.series == "sensor[3].median_perf"]
+    assert len(hits) == 1
+    finding = hits[0]
+    assert finding.change.index == 25
+    assert finding.change.direction == "down"
+    assert finding.run_label == "commit-025"
+    assert finding.fingerprint == FP
+    # The healthy sensor stays quiet.
+    assert not any("sensor[5]" in f.series for f in scan.findings)
+
+
+def test_scan_is_deterministic_across_calls(tmp_path):
+    store = RunStore(tmp_path)
+    _fill_store(store)
+    first = RegressionHunter().scan_store(store)
+    second = RegressionHunter().scan_store(store)
+    assert first.findings == second.findings  # bit-identical ChangePoints
+
+
+def test_orientation_classification():
+    assert classify_metric("results[0].seconds") == "lower"
+    assert classify_metric("lockstep_speedups.CG@128") == "higher"
+    assert classify_metric("budgets.0.02.f_score") == "higher"
+    assert classify_metric("quiet_overhead") == "lower"
+    assert classify_metric("decisions.demote") == "neutral"
+
+    hunter = RegressionHunter()
+    down = list(np.concatenate([np.full(20, 2.0), np.full(20, 1.0)]))
+    up = list(np.concatenate([np.full(20, 1.0), np.full(20, 2.0)]))
+    # seconds going down is an improvement; f_score going down a regression
+    assert hunter.scan_series({"x.seconds": down}).improvements
+    assert hunter.scan_series({"x.f_score": down}).regressions
+    assert hunter.scan_series({"x.seconds": up}).regressions
+    assert hunter.scan_series({"x.f_score": up}).improvements
+    # unknown orientation: reported, but only as a shift
+    shifts = hunter.scan_series({"x.mystery": up})
+    assert shifts.of_kind("shift") and not shifts.regressions
+
+
+def test_store_series_requires_sensor_in_every_run():
+    runs = [
+        RunRecord(fingerprint=FP, seq=0, sensors=(_baseline(1, 1.0), _baseline(2, 1.0))),
+        RunRecord(fingerprint=FP, seq=1, sensors=(_baseline(1, 1.0),)),
+    ]
+    named = store_series(runs)
+    assert "sensor[1].median_perf" in named
+    assert not any("sensor[2]" in name for name in named)
+
+
+def test_short_and_non_finite_series_are_skipped():
+    hunter = RegressionHunter()
+    scan = hunter.scan_series(
+        {
+            "too_short": [1.0, 2.0, 3.0],
+            "bad": [1.0] * 20 + [float("nan")] * 20,
+        }
+    )
+    assert scan.series_scanned == 0
+    assert scan.series_skipped == 2
+    assert scan.findings == []
+
+
+def test_scan_emits_obs_spans_and_counters(tmp_path):
+    store = RunStore(tmp_path)
+    _fill_store(store)
+    obs = Obs.create()
+    scan = RegressionHunter(obs=obs).scan_store(store)
+    names = [record.name for record in obs.tracer.buffer]
+    assert "history.scan" in names
+    assert obs.metrics.counter("history.changepoints").value == len(scan.findings)
+    assert obs.metrics.counter("history.regressions").value == len(scan.regressions)
+    assert obs.metrics.counter("history.runs_scanned").value == 40
+    assert obs.metrics.counter("history.series_scanned").value == scan.series_scanned
+
+
+def test_findings_thread_into_diagnostics(tmp_path):
+    store = RunStore(tmp_path)
+    _fill_store(store)
+    scan = RegressionHunter().scan_store(store)
+    diagnostics = scan.diagnostics()
+    assert diagnostics
+    regression = next(
+        d for d in diagnostics if d.code is ReasonCode.PERF_REGRESSION
+    )
+    assert regression.severity is Severity.WARNING
+    assert regression.origin == "history.scan"
+    assert "sensor[3].median_perf" in str(regression.span)
+    assert str(scan.regressions[0].change.index) in regression.format()
+
+
+def test_merge_accumulates():
+    a = HistoryScan(runs_scanned=3, series_scanned=2, series_skipped=1)
+    b = HistoryScan(runs_scanned=4, series_scanned=5, series_skipped=0)
+    a.merge(b)
+    assert (a.runs_scanned, a.series_scanned, a.series_skipped) == (7, 7, 1)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_scan_exit_codes(tmp_path, capsys):
+    store_dir = tmp_path / "hist"
+    store = RunStore(store_dir)
+    _fill_store(store)
+    rc = main(["history", "scan", "--store", str(store_dir), "--explain"])
+    out = capsys.readouterr().out
+    assert rc == 3  # regression found -> gateable exit status
+    assert "regression" in out and "perf-regression" in out
+
+    quiet_dir = tmp_path / "quiet"
+    quiet = RunStore(quiet_dir)
+    for index in range(20):
+        quiet.append(
+            RunRecord(fingerprint=FP, total_time_us=1000.0, sensors=(_baseline(1, 0.99),))
+        )
+    assert main(["history", "scan", "--store", str(quiet_dir)]) == 0
+
+
+def test_cli_scan_requires_a_source(capsys):
+    assert main(["history", "scan"]) == 2
+    assert "give --store" in capsys.readouterr().err
+
+
+def test_cli_show(tmp_path, capsys):
+    store_dir = tmp_path / "hist"
+    store = RunStore(store_dir)
+    _fill_store(store, n_runs=3, drop_at=99)
+    assert main(["history", "show", "--store", str(store_dir)]) == 0
+    listing = capsys.readouterr().out
+    assert "1 trajectory(ies)" in listing and "runs=3" in listing
+    assert main(["history", "show", "--store", str(store_dir), "--fingerprint", FP]) == 0
+    detail = capsys.readouterr().out
+    assert "commit-002" in detail
+    assert main(["history", "show", "--store", str(store_dir), "--fingerprint", "0" * 64]) == 0
+    assert "no runs" in capsys.readouterr().out
+
+
+def test_cli_append_and_run_share_fingerprints(tmp_path, capsys):
+    from tests.conftest import SIMPLE_MPI_PROGRAM
+
+    program = tmp_path / "prog.vsn"
+    program.write_text(SIMPLE_MPI_PROGRAM)
+    store_dir = str(tmp_path / "hist")
+    args = ["--ranks", "4", "--ranks-per-node", "2"]
+    assert (
+        main(
+            ["history", "append", str(program), "--store", store_dir, "--label", "c0"]
+            + args
+        )
+        == 0
+    )
+    assert "appended run 0" in capsys.readouterr().out
+    # `run --history-store` with the same config extends the same trajectory.
+    assert (
+        main([
+            "run", str(program), "--history-store", store_dir, "--history-label", "c1"
+        ] + args)
+        == 0
+    )
+    assert "appended run 1" in capsys.readouterr().out
+    store = RunStore(store_dir)
+    keys = store.fingerprints()
+    assert len(keys) == 1
+    assert [r.label for r in store.runs(keys[0])] == ["c0", "c1"]
