@@ -293,9 +293,13 @@ def _run_sharded(args, source: str, faults, obs) -> int:
         window_us=args.window_ms * 1000.0,
         analysis_engine=args.analysis_engine,
         obs=obs,
+        workers=args.workers,
+        shard_processes=args.shard_processes,
         **({"store": kwargs["store"]} if "store" in kwargs else {}),
     )
     print(f"sharded service : {run.service.describe()}")
+    if run.fabric is not None and run.fabric.restarts():
+        print(f"shard restarts  : {run.fabric.restarts()}")
     for job_id, job_run in sorted(run.jobs.items()):
         report = job_run.report
         print(
@@ -494,10 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--engine",
-        choices=("bytecode", "ast", "lockstep"),
+        choices=("bytecode", "ast", "lockstep", "auto"),
         default="bytecode",
         help="interpreter tier: compiled register VM (default), the AST "
-        "reference, or the SIMD-over-ranks lockstep VM",
+        "reference, the SIMD-over-ranks lockstep VM, or 'auto' (bytecode "
+        "below 16 ranks, lockstep at or above — the measured crossover)",
     )
     p_run.add_argument(
         "--analysis-engine",
@@ -519,6 +524,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="number of concurrent tenant jobs for --shards (each replays "
         "the program on a machine with a distinct noise seed)",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="for --shards/--jobs: fan the per-job compile+simulate phase "
+        "out to this many OS processes (deterministic pool; results are "
+        "bit-identical to --workers 1)",
+    )
+    p_run.add_argument(
+        "--shard-processes",
+        action="store_true",
+        help="for --shards: run each shard worker's ingest side in a child "
+        "OS process over the framed fabric wire protocol (bit-identical "
+        "merged queries, crash/replay recovery)",
     )
     p_run.add_argument(
         "--profile",
@@ -573,7 +593,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_happend.add_argument("--window-ms", type=float, default=20.0)
     p_happend.add_argument("--fault", action="append", help="inject a fault")
     p_happend.add_argument(
-        "--engine", choices=("bytecode", "ast", "lockstep"), default="bytecode"
+        "--engine",
+        choices=("bytecode", "ast", "lockstep", "auto"),
+        default="bytecode",
     )
     p_happend.set_defaults(func=cmd_history_append)
 

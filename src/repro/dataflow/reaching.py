@@ -56,17 +56,19 @@ class ReachingDefinitions:
     ) -> None:
         self._fn = fn
         self._block_in = block_in
-        self._defs_of_instr = defs_of_instr
-        # Per-instruction IN sets, computed lazily per block and cached.
+        # Per-instruction IN sets, materialized up front.  The transfer
+        # function is only needed during materialization and is often a
+        # closure — holding on to it would make solved facts unpicklable
+        # (and the artifact cache's disk layer silently useless).
         self._instr_in: dict[int, frozenset[Definition]] = {}
-        self._materialize()
+        self._materialize(defs_of_instr)
 
-    def _materialize(self) -> None:
+    def _materialize(self, defs_of_instr: Callable[[Instr], list[Definition]]) -> None:
         for block in self._fn.blocks:
             current = set(self._block_in.get(block, frozenset()))
             for instr in block.instrs:
                 self._instr_in[instr.instr_id] = frozenset(current)
-                _apply_transfer(current, self._defs_of_instr(instr))
+                _apply_transfer(current, defs_of_instr(instr))
 
     def reaching_before(self, instr: Instr, var: str) -> list[Definition]:
         """Definitions of ``var`` reaching immediately before ``instr``."""

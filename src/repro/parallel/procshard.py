@@ -1,0 +1,355 @@
+"""Shard workers in real OS processes behind the existing ShardRouter.
+
+The in-process :class:`~repro.service.shard.ShardWorker` keeps two
+separable responsibilities in one object: the *virtual-time queue
+discipline* (bounded queue, admission capacity, deterministic cost
+clock) and the *actual ingest work* (applying rows to shard-local
+:class:`~repro.runtime.server.AnalysisServer`\\ s).  The process fabric
+splits them at exactly that seam:
+
+* :class:`ProcessShardWorker` — the parent-side proxy.  It *is* a
+  ``ShardWorker`` (same queue, same admission arithmetic, same virtual
+  clock — so the front's back-pressure behaviour is bit-identical), but
+  ``_apply`` ships the sub-batch to a child process as a framed
+  :data:`~repro.parallel.wire.T_APPLY` message instead of touching a
+  local server.  Applies are fire-and-forget, so the child's ingest CPU
+  time overlaps the parent's simulation and the other shards' children.
+* :class:`_shard_child_main` — the child loop.  It owns the real per-job
+  servers, guards every (job, rank) stream with a
+  :class:`~repro.runtime.seqtrack.SequenceTracker` over the front's
+  dense sub-sequence numbers (redelivered frames are dropped, the PR 2
+  discipline across the process boundary), and answers EXPORT queries
+  with encoded row deltas for the query merger.
+
+Crash/replay: the proxy spools every frame it ever sent.  When the
+child dies (broken pipe on send, EOF on a query), the proxy respawns it
+and replays the spool in order — the fresh child starts empty, so the
+replay rebuilds the exact pre-crash state and every sequenced batch is
+applied exactly once (``tests/parallel/test_procshard.py`` kills a
+child mid-run and pins bit-identity).  ``parallel.worker_restart``
+counts respawns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.parallel.wire import (
+    FrameConn,
+    PeerDied,
+    T_APPLY,
+    T_EXPORT,
+    T_EXPORT_ROWS,
+    T_REGISTER,
+    T_SHUTDOWN,
+    pack_apply,
+    pack_export_request,
+    pack_export_rows,
+    pack_register,
+    socket_pair,
+    unpack_apply,
+    unpack_export_request,
+    unpack_export_rows,
+    unpack_register,
+)
+from repro.runtime.seqtrack import SequenceTracker
+from repro.runtime.server import AnalysisServer
+from repro.service.shard import ShardWorker, _QueuedBatch
+
+
+@dataclass(frozen=True, slots=True)
+class ShardServerConfig:
+    """Everything a child needs to build one job's analysis server."""
+
+    window_us: float = 200_000.0
+    batch_period_us: float = 100_000.0
+    threshold: float = 0.7
+    engine: str = "columnar"
+
+
+def _shard_child_main(conn: FrameConn, config: ShardServerConfig) -> None:  # pragma: no cover
+    """Child loop: apply sequenced sub-batches, answer export queries.
+
+    Runs only in forked children, so parent-side coverage cannot see it;
+    every branch is exercised through the procshard tests' real children.
+    """
+    servers: dict[int, AnalysisServer] = {}
+    job_ranks: dict[int, int] = {}
+    trackers: dict[tuple[int, int], SequenceTracker] = {}
+
+    def server_for(job: int, n_ranks: int) -> AnalysisServer:
+        server = servers.get(job)
+        if server is None:
+            server = servers[job] = AnalysisServer(
+                n_ranks=job_ranks.get(job, n_ranks),
+                window_us=config.window_us,
+                batch_period_us=config.batch_period_us,
+                threshold=config.threshold,
+                engine=config.engine,
+            )
+        return server
+
+    while True:
+        try:
+            ftype, payload = conn.recv()
+        except PeerDied:
+            os._exit(0)
+        if ftype == T_SHUTDOWN:
+            conn.close()
+            os._exit(0)
+        elif ftype == T_REGISTER:
+            job, n_ranks = unpack_register(payload)
+            job_ranks[job] = n_ranks
+        elif ftype == T_APPLY:
+            job, rank, seq, n_ranks, rows = unpack_apply(payload)
+            tracker = trackers.setdefault((job, rank), SequenceTracker())
+            if not tracker.accept(seq):
+                continue  # redelivered sub-batch: exactly-once effect
+            # The front already sequenced this hop; the shard-local server
+            # ingests without its own watermark (mirrors the in-process
+            # worker, which passes seq through for identical accounting).
+            server_for(job, n_ranks).receive_batch(rank, rows, seq=seq)
+        elif ftype == T_EXPORT:
+            job, cursor = unpack_export_request(payload)
+            server = servers.get(job)
+            if server is None:
+                conn.send(T_EXPORT_ROWS, pack_export_rows(cursor, 0, []))
+                continue
+            rows, total = server.export_rows(cursor)
+            conn.send(
+                T_EXPORT_ROWS,
+                pack_export_rows(total, server.duplicate_summaries, rows),
+            )
+        else:
+            os._exit(1)
+
+
+class _RemoteJobServer:
+    """Parent-side stand-in for one job's shard-local server.
+
+    Duck-types the two members the query merger reads —
+    ``export_rows(cursor)`` and ``duplicate_summaries`` — by round-trip
+    EXPORT frames to the shard child.  After the fabric closes, answers
+    come from the last-synced cursor so late queries see a stable view.
+    """
+
+    def __init__(self, shard: "ProcessShardWorker", job: int) -> None:
+        self._shard = shard
+        self._job = job
+        self.duplicate_summaries = 0
+        self._last_total = 0
+
+    def export_rows(self, start: int = 0):
+        shard = self._shard
+        if shard.closed:
+            return [], self._last_total
+        total, duplicates, rows = shard._export(self._job, start)
+        self.duplicate_summaries = duplicates
+        self._last_total = total
+        return rows, total
+
+
+@dataclass(slots=True)
+class ProcessShardWorker(ShardWorker):
+    """ShardWorker whose apply/query side lives in a child OS process."""
+
+    config: ShardServerConfig = field(default_factory=ShardServerConfig)
+    max_restarts: int = 2
+    closed: bool = False
+    #: respawns performed (mirrors the parallel.worker_restart counter)
+    restarts: int = 0
+    #: replay spool: every (type, payload) frame ever sent, in order
+    _spool: list = field(default_factory=list)
+    _conn: FrameConn | None = None
+    _process: object | None = None
+    #: declared rank count per job (REGISTER frames carry it to the child)
+    _job_ranks: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._start()
+
+    # -- child lifecycle ---------------------------------------------------
+
+    def _start(self) -> None:
+        frames = (
+            self.metrics.counter("parallel.frames") if self.metrics is not None else None
+        )
+        parent, child = socket_pair(frames=frames)
+        ctx = multiprocessing.get_context("fork" if hasattr(os, "fork") else "spawn")
+        self._process = ctx.Process(
+            target=_shard_child_main, args=(child, self.config), daemon=True
+        )
+        self._process.start()
+        child.close()
+        self._conn = parent
+
+    def _restart(self) -> None:
+        if self.restarts >= self.max_restarts:
+            raise ReproError(
+                f"shard {self.shard_id} child died {self.restarts + 1} times "
+                f"(max_restarts={self.max_restarts}); giving up"
+            )
+        self.restarts += 1
+        if self.metrics is not None:
+            self.metrics.counter("parallel.worker_restart").inc()
+        if self.obs is not None:
+            with self.obs.tracer.span(
+                f"parallel.shard.{self.shard_id}.restart"
+            ) as span:
+                span.set("replayed_frames", len(self._spool))
+        self._conn.close()
+        self._process.join(timeout=5.0)
+        self._start()
+        # Replay the spool into the fresh (empty) child.  Sequenced
+        # sub-batches re-apply exactly once by construction: the child
+        # lost all state, so the full history *is* the exactly-once set.
+        for ftype, payload in self._spool:
+            self._conn.send(ftype, payload)
+
+    def _send(self, ftype: int, payload: bytes, spool: bool = True) -> None:
+        if spool:
+            self._spool.append((ftype, payload))
+        while True:
+            try:
+                self._conn.send(ftype, payload)
+                return
+            except PeerDied:
+                # _restart already replayed the spool (which, for
+                # spooled frames, includes this one) — done.
+                self._restart()
+                if spool:
+                    return
+
+    def pid(self) -> int:
+        """Live child PID (test/diagnostic surface)."""
+        return self._process.pid
+
+    def close(self) -> None:
+        """Shut the child down; later queries answer from synced state."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._conn.send(T_SHUTDOWN)
+        except PeerDied:
+            pass
+        self._conn.close()
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - stuck child
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+
+    # -- ShardWorker overrides ---------------------------------------------
+
+    def register_job(self, job: int, n_ranks: int) -> None:
+        """Declare a job's rank count ahead of its first batch."""
+        self._job_ranks[job] = n_ranks
+        self._send(T_REGISTER, pack_register(job, n_ranks))
+
+    def _apply(self, batch: _QueuedBatch) -> float:
+        if batch.job not in self.servers:
+            self.servers[batch.job] = _RemoteJobServer(self, batch.job)
+        n_ranks = self._job_ranks.get(batch.job, 0)
+        payload = pack_apply(batch.job, batch.rank, batch.seq, n_ranks, batch.rows)
+        if self.cost.measured:
+            t0 = time.perf_counter()
+            self._send(T_APPLY, payload)
+            cost = (time.perf_counter() - t0) * 1e6
+            self._avg_cost_us += 0.25 * (cost - self._avg_cost_us)
+        else:
+            self._send(T_APPLY, payload)
+            cost = self.cost.estimate(len(batch.rows))
+        self.applied_batches += 1
+        self.applied_rows += len(batch.rows)
+        if self.obs is not None:
+            with self.obs.tracer.span(f"service.shard.{self.shard_id}.apply") as span:
+                span.set("job", batch.job)
+                span.set("rank", batch.rank)
+                span.set("rows", len(batch.rows))
+        if self.metrics is not None:
+            self.metrics.counter(f"service.shard.{self.shard_id}.batches").inc()
+            self.metrics.counter(f"service.shard.{self.shard_id}.rows").inc(
+                len(batch.rows)
+            )
+        return cost
+
+    # -- query plumbing ----------------------------------------------------
+
+    def _export(self, job: int, cursor: int):
+        """Synchronous EXPORT round-trip (retried across a restart)."""
+        while True:
+            self._send(T_EXPORT, pack_export_request(job, cursor), spool=False)
+            try:
+                ftype, payload = self._conn.recv()
+            except PeerDied:
+                self._restart()
+                continue
+            if ftype != T_EXPORT_ROWS:
+                raise ReproError(
+                    f"unexpected frame type {ftype} from shard {self.shard_id}"
+                )
+            return unpack_export_rows(payload, job=job)
+
+
+class ProcessShardFabric:
+    """Factory + registry of process-backed shards for one service run."""
+
+    def __init__(self, *, max_restarts: int = 2) -> None:
+        self.max_restarts = max_restarts
+        self.shards: list[ProcessShardWorker] = []
+
+    def shard(
+        self,
+        shard_id: int,
+        *,
+        queue_limit: int,
+        cost,
+        window_us: float,
+        batch_period_us: float,
+        threshold: float,
+        engine: str,
+        obs=None,
+        metrics=None,
+    ) -> ProcessShardWorker:
+        worker = ProcessShardWorker(
+            shard_id=shard_id,
+            server_factory=_no_local_servers,
+            queue_limit=queue_limit,
+            cost=cost,
+            obs=obs,
+            metrics=metrics,
+            config=ShardServerConfig(
+                window_us=window_us,
+                batch_period_us=batch_period_us,
+                threshold=threshold,
+                engine=engine,
+            ),
+            max_restarts=self.max_restarts,
+        )
+        self.shards.append(worker)
+        return worker
+
+    def register_job(self, job: int, n_ranks: int) -> None:
+        for shard in self.shards:
+            shard.register_job(job, n_ranks)
+
+    def restarts(self) -> int:
+        return sum(s.restarts for s in self.shards)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ProcessShardFabric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _no_local_servers(job: int) -> AnalysisServer:  # pragma: no cover
+    raise ReproError("process-backed shards keep servers in the child process")

@@ -1,0 +1,107 @@
+"""Parallel phase-1 of the multi-job runner: simulate jobs in processes.
+
+:func:`~repro.api.run_multi_job` has four phases; only phase 1 (compile
++ simulate every job, recording timed batch sends) is CPU-bound per job
+and embarrassingly parallel — phases 2–4 (globally time-ordered replay
+through the sharded service, quiescence drive, merged reports) are a
+deterministic function of phase 1's outputs.  So the fabric parallelizes
+exactly phase 1: each :class:`~repro.api.JobSpec` becomes one task on
+the deterministic :class:`~repro.parallel.pool.WorkerPool`, the worker
+compiles and simulates it with a null obs bundle (observability is
+behaviour-neutral, so the results are bit-identical to an instrumented
+in-process run), and ships back ``(static, sim, runtime)`` — the
+recorder with its timed batch events rides inside ``runtime.server``.
+Merging then goes through the unchanged order-invariant
+:class:`~repro.service.merge.QueryMerger` path, which is what makes
+``workers=N`` bit-identical to ``workers=1`` by construction.
+
+Workers optionally share a warm compile cache through an
+:class:`~repro.pipeline.ArtifactStore` disk directory — safe under
+concurrent writers since the store's atomic temp-file publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs import NULL_OBS, Obs
+from repro.parallel.pool import WorkerPool
+from repro.runtime.detector import DetectorConfig
+
+
+@dataclass(slots=True)
+class JobTask:
+    """One phase-1 unit of work, picklable for the pool hop."""
+
+    job_id: int
+    source: str
+    machine: object
+    faults: tuple
+    detector: DetectorConfig | None
+    rule: object | None
+    engine: str
+    max_depth: int
+    batch_period_us: float
+    #: optional shared on-disk compile-cache directory
+    cache_dir: str | None = None
+
+
+def simulate_job(task: JobTask):
+    """Run one job's compile + simulate phase (pool worker entry point).
+
+    Mirrors the in-process phase-1 loop of :func:`repro.api.run_multi_job`
+    exactly: same recorder, same runtime construction, same simulator
+    arguments.  Returns ``(static, sim, runtime)`` pickled as one payload
+    so the ``static.program.sensors`` identity shared with the runtime
+    survives the trip back.
+    """
+    from repro.api import _BatchRecorder, compile_and_instrument
+    from repro.pipeline import ArtifactStore
+    from repro.runtime.dynrules import NoGrouping
+    from repro.runtime.vsensor_hooks import VSensorRuntime
+    from repro.sim import Simulator
+
+    store = (
+        ArtifactStore(disk_dir=task.cache_dir) if task.cache_dir is not None else None
+    )
+    kwargs = {"store": store} if store is not None else {}
+    static = compile_and_instrument(task.source, max_depth=task.max_depth, **kwargs)
+    recorder = _BatchRecorder(task.batch_period_us)
+    runtime = VSensorRuntime(
+        sensors=static.program.sensors,
+        n_ranks=task.machine.n_ranks,
+        config=task.detector or DetectorConfig(),
+        rule=task.rule or NoGrouping(),
+        server=recorder,  # type: ignore[arg-type]
+    )
+    sim = Simulator(
+        static.program.module,
+        task.machine,
+        faults=tuple(task.faults),
+        sensors=static.program.sensors,
+        engine=task.engine,
+    ).run(runtime)
+    return static, sim, runtime
+
+
+def simulate_jobs_parallel(
+    tasks: Sequence[JobTask],
+    workers: int,
+    *,
+    obs: Obs | None = None,
+    max_restarts: int = 2,
+) -> list:
+    """Fan phase-1 tasks out to ``workers`` processes; results in order.
+
+    Each result is the ``(static, sim, runtime)`` triple of the task at
+    the same index.  Placement, replay and result ordering come from the
+    deterministic pool, so the caller's downstream phases see the exact
+    sequence an in-process loop would have produced.
+    """
+    obs = obs or NULL_OBS
+    with obs.tracer.span("parallel.phase1", jobs=len(tasks), workers=workers):
+        with WorkerPool(
+            workers, simulate_job, obs=obs, max_restarts=max_restarts
+        ) as pool:
+            return pool.run(list(tasks))

@@ -19,10 +19,15 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
+import os
 import pickle
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
+
+#: per-process uniquifier for temp-file names (see _disk_write)
+_tmp_serial = itertools.count()
 
 
 class FingerprintError(TypeError):
@@ -113,6 +118,17 @@ class StoreStats:
         }
 
 
+def _unlink_quiet(path: Path) -> bool:
+    """Remove ``path``, tolerating a concurrent remover; True if we won."""
+    try:
+        path.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+
+
 class ArtifactStore:
     """Bounded LRU of pass artifacts with an optional on-disk layer.
 
@@ -121,6 +137,12 @@ class ArtifactStore:
     ``disk_dir`` set, every put is written through as a pickle and misses
     fall back to disk; unpicklable artifacts and corrupt files degrade to
     cache misses, never to errors.
+
+    The disk layer is safe under concurrent writers — every writer
+    publishes through its own uniquely-named temp file and an atomic
+    rename, so parallel pool workers can share one warm compile cache;
+    stale temp files from crashed writers are never read and are swept
+    on :meth:`clear` / :meth:`invalidate_pass`.
     """
 
     def __init__(self, capacity: int = 128, disk_dir: str | Path | None = None) -> None:
@@ -164,8 +186,7 @@ class ArtifactStore:
         removed = self._entries.pop(key, None) is not None
         path = self._disk_path(key)
         if path is not None and path.exists():
-            path.unlink()
-            removed = True
+            removed = _unlink_quiet(path) or removed
         return removed
 
     def invalidate_pass(self, pass_name: str) -> int:
@@ -179,15 +200,19 @@ class ArtifactStore:
             pass_dir = self.disk_dir / pass_name
             if pass_dir.is_dir():
                 for path in pass_dir.glob("*.pkl"):
-                    path.unlink()
-                    removed += 1
+                    if _unlink_quiet(path):
+                        removed += 1
+                for path in pass_dir.glob("*.tmp"):
+                    _unlink_quiet(path)  # stale temp from a crashed writer
         return removed
 
     def clear(self) -> None:
         self._entries.clear()
         if self.disk_dir is not None and self.disk_dir.is_dir():
             for path in self.disk_dir.glob("*/*.pkl"):
-                path.unlink()
+                _unlink_quiet(path)
+            for path in self.disk_dir.glob("*/*.tmp"):
+                _unlink_quiet(path)  # stale temp from a crashed writer
 
     # -- disk layer ----------------------------------------------------------
 
@@ -211,11 +236,23 @@ class ArtifactStore:
         path = self._disk_path(key)
         if path is None:
             return
+        # The temp name is unique per writer (pid + per-process serial):
+        # concurrent processes publishing the same key — parallel pool
+        # workers warming a shared compile cache — must never interleave
+        # writes into one temp file.  Each writes its own temp and the
+        # rename is atomic, so the last replace wins with whole content
+        # and readers never see a torn file.  Stale ``*.tmp`` leftovers
+        # from a crashed writer are inert (never read) and swept by
+        # :meth:`clear` / :meth:`invalidate_pass`.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_tmp_serial)}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
             with open(tmp, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             tmp.replace(path)  # atomic publish: readers never see a torn file
         except Exception:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
             return  # unpicklable artifact / full disk: stay memory-only

@@ -12,7 +12,13 @@ Entry point: :class:`~repro.sim.engine.Simulator` —
 ``Simulator(program, machine).run(hooks)``.
 """
 
-from repro.sim.engine import RankResult, SimResult, Simulator
+from repro.sim.engine import (
+    AUTO_LOCKSTEP_MIN_RANKS,
+    RankResult,
+    SimResult,
+    Simulator,
+    resolve_engine,
+)
 from repro.sim.faults import (
     BadNode,
     CpuContention,
@@ -35,9 +41,11 @@ __all__ = [
     "NodeConfig",
     "NoiseConfig",
     "NullHooks",
+    "AUTO_LOCKSTEP_MIN_RANKS",
     "RankResult",
     "RuntimeHooks",
     "SimResult",
     "Simulator",
     "SlowMemoryNode",
+    "resolve_engine",
 ]

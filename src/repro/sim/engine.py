@@ -49,6 +49,27 @@ from repro.sim.network import NetworkModel
 
 _P2P_OPS = ("send", "recv", "sendrecv")
 
+#: rank count at and above which ``engine="auto"`` picks the lockstep
+#: tier.  BENCH_interp.json: at 8 ranks lockstep is a net slowdown over
+#: bytecode (CG 0.95x uninstrumented, LULESH 0.56x) because batch setup
+#: and divergence draining dominate narrow lanes; from 32 ranks up every
+#: measured workload is >1x and the gap widens with width.  The
+#: crossover is pinned between those measured points.
+AUTO_LOCKSTEP_MIN_RANKS = 16
+
+
+def resolve_engine(engine: str, n_ranks: int) -> str:
+    """Resolve the ``"auto"`` interpreter tier for a rank count.
+
+    ``"auto"`` maps to ``"bytecode"`` below
+    :data:`AUTO_LOCKSTEP_MIN_RANKS` ranks and ``"lockstep"`` at or above
+    it; any concrete tier name passes through unchanged.  All tiers are
+    bit-identical, so auto-selection can only change wall-clock speed.
+    """
+    if engine != "auto":
+        return engine
+    return "lockstep" if n_ranks >= AUTO_LOCKSTEP_MIN_RANKS else "bytecode"
+
 
 @dataclass(slots=True)
 class RankResult:
@@ -89,8 +110,11 @@ class Simulator:
         obs: Obs | None = None,
         probe_control=None,
     ) -> None:
-        if engine not in ("bytecode", "ast", "lockstep"):
-            raise ValueError(f"unknown engine {engine!r} (bytecode|ast|lockstep)")
+        if engine not in ("bytecode", "ast", "lockstep", "auto"):
+            raise ValueError(
+                f"unknown engine {engine!r} (bytecode|ast|lockstep|auto)"
+            )
+        engine = resolve_engine(engine, machine.n_ranks)
         self.module = module
         #: optional governor :class:`~repro.runtime.governor.SensorControlTable`
         #: consulted per probe execution; ``None`` keeps probes unconditional

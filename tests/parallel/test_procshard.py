@@ -1,0 +1,149 @@
+"""Process-backed shards: bit-identity and crash/replay recovery.
+
+The fabric contract mirrors the sharded-service contract one process
+boundary out: an :class:`~repro.service.AnalysisService` built on
+:class:`~repro.parallel.ProcessShardFabric` must answer every per-job
+query bit-identically to the same service with in-process shards — for
+the same batches, the same interleaving, the same sequence numbers —
+even when a shard child is SIGKILLed mid-run and rebuilt by spool
+replay.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import Obs
+from repro.parallel import ProcessShardFabric
+from repro.sensors.model import SensorType
+from repro.service import AnalysisService
+from tests.service.util import make_summary
+
+N_RANKS = 4
+N_JOBS = 2
+WINDOW_US = 2000.0
+
+
+def _batches(job: int):
+    """Deterministic sequenced per-rank batches for one job."""
+    out = []
+    for rank in range(N_RANKS):
+        for seq in range(3):
+            rows = [
+                make_summary(
+                    rank,
+                    sensor_id,
+                    SensorType.COMPUTATION if sensor_id == 1 else SensorType.NETWORK,
+                    "g" if slice_index % 2 else "",
+                    slice_index,
+                    10.0 + job + rank * 0.5 + slice_index * 0.25,
+                    job_id=job,
+                )
+                for sensor_id in (1, 2)
+                for slice_index in range(seq * 2, seq * 2 + 2)
+            ]
+            out.append((rank, rows, seq))
+    return out
+
+
+def _feed(service: AnalysisService) -> None:
+    ports = [service.register_job(job, N_RANKS) for job in range(N_JOBS)]
+    for job, port in enumerate(ports):
+        for rank, rows, seq in _batches(job):
+            assert port.receive_batch(rank, list(rows), seq=seq)
+    service.finish()
+
+
+def _assert_identical(a: AnalysisService, b: AnalysisService) -> None:
+    for job in range(N_JOBS):
+        pa, pb = a.ports[job], b.ports[job]
+        for stype in SensorType:
+            assert np.array_equal(
+                pa.performance_matrix(stype),
+                pb.performance_matrix(stype),
+                equal_nan=True,
+            ), f"job {job} {stype} matrix differs across the process boundary"
+        assert pa.detect_inter_process() == pb.detect_inter_process()
+        assert pa.stored_summaries == pb.stored_summaries
+        assert pa.duplicate_summaries == pb.duplicate_summaries
+        assert pa.history._standard == pb.history._standard
+
+
+def test_process_shards_bit_identical_to_in_process():
+    ref = AnalysisService(3, window_us=WINDOW_US)
+    _feed(ref)
+    fabric = ProcessShardFabric()
+    svc = AnalysisService(3, window_us=WINDOW_US, fabric=fabric)
+    _feed(svc)
+    _assert_identical(ref, svc)
+    assert fabric.restarts() == 0
+    # close() syncs every merger before the children go away, so late
+    # queries answer from stable state, unchanged.
+    svc.close()
+    _assert_identical(ref, svc)
+
+
+def test_redelivered_subbatches_apply_exactly_once():
+    ref = AnalysisService(2, window_us=WINDOW_US)
+    _feed(ref)
+    with ProcessShardFabric() as fabric:
+        svc = AnalysisService(2, window_us=WINDOW_US, fabric=fabric)
+        port = svc.register_job(0, N_RANKS)
+        other = svc.register_job(1, N_RANKS)
+        for rank, rows, seq in _batches(0):
+            assert port.receive_batch(rank, list(rows), seq=seq)
+            # Transport-level redelivery: same seq, same rows — the
+            # front's watermark drops it before the shard hop.
+            assert not port.receive_batch(rank, list(rows), seq=seq)
+        for rank, rows, seq in _batches(1):
+            assert other.receive_batch(rank, list(rows), seq=seq)
+        svc.finish()
+        _assert_identical(ref, svc)
+
+
+def test_killed_shard_child_recovers_by_spool_replay():
+    obs = Obs.create()
+    ref = AnalysisService(3, window_us=WINDOW_US)
+    _feed(ref)
+    with ProcessShardFabric() as fabric:
+        svc = AnalysisService(3, window_us=WINDOW_US, obs=obs, fabric=fabric)
+        ports = [svc.register_job(job, N_RANKS) for job in range(N_JOBS)]
+        half = len(_batches(0)) // 2
+        for job, port in enumerate(ports):
+            for rank, rows, seq in _batches(job)[:half]:
+                assert port.receive_batch(rank, list(rows), seq=seq)
+        svc.finish()  # make sure applies reached the children
+        # Murder every shard child mid-run: recovery must replay the
+        # full frame spool into fresh processes.
+        for shard in svc.shards:
+            os.kill(shard.pid(), signal.SIGKILL)
+        time.sleep(0.1)
+        for job, port in enumerate(ports):
+            for rank, rows, seq in _batches(job)[half:]:
+                assert port.receive_batch(rank, list(rows), seq=seq)
+        svc.finish()
+        _assert_identical(ref, svc)
+        assert fabric.restarts() == len(svc.shards)
+        assert (
+            obs.metrics.counter("parallel.worker_restart").value == len(svc.shards)
+        )
+
+
+def test_repeated_child_deaths_exhaust_max_restarts():
+    with ProcessShardFabric(max_restarts=1) as fabric:
+        svc = AnalysisService(1, window_us=WINDOW_US, fabric=fabric)
+        port = svc.register_job(0, N_RANKS)
+        shard = svc.shards[0]
+        with pytest.raises(ReproError, match="giving up"):
+            for attempt in range(4):
+                os.kill(shard.pid(), signal.SIGKILL)
+                time.sleep(0.05)
+                rank, rows, seq = _batches(0)[attempt]
+                port.receive_batch(rank, list(rows), seq=seq)
+                svc.finish()  # forces the apply → send → PeerDied path

@@ -1,0 +1,103 @@
+"""ArtifactStore disk layer under concurrent multi-process writers.
+
+The parallel runner's pool workers share one on-disk compile cache, so
+many processes publish the *same keys* at the same time.  The contract:
+readers never see a torn or partial pickle (every published file loads
+and equals some writer's complete payload), no temp files leak, and a
+crashed writer's stale temp is inert until swept.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.pipeline import ArtifactStore
+from repro.pipeline.artifacts import digest
+
+N_PROCS = 4
+N_ROUNDS = 25
+KEYS = [f"parse:{digest('shared', str(i))}" for i in range(3)]
+
+
+def _hammer(args):
+    """One writer process: publish every shared key N_ROUNDS times."""
+    disk_dir, writer_id = args
+    store = ArtifactStore(capacity=4, disk_dir=disk_dir)
+    for round_no in range(N_ROUNDS):
+        for key in KEYS:
+            # Self-describing payload: any complete file is valid.
+            store.put(key, {"key": key, "writer": writer_id, "round": round_no})
+            value, hit = store.get(key)
+            assert hit and value["key"] == key
+    return writer_id
+
+
+def test_concurrent_writers_never_tear_files(tmp_path):
+    disk_dir = str(tmp_path / "cache")
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(N_PROCS) as pool:
+        done = pool.map(_hammer, [(disk_dir, w) for w in range(N_PROCS)])
+    assert sorted(done) == list(range(N_PROCS))
+
+    # Every published file is a whole pickle from one writer's final put.
+    fresh = ArtifactStore(disk_dir=disk_dir)
+    for key in KEYS:
+        value, hit = fresh.get(key)
+        assert hit
+        assert value["key"] == key
+        assert value["writer"] in range(N_PROCS)
+        assert value["round"] == N_ROUNDS - 1  # last replace wins, whole
+    # No temp files survive healthy writers.
+    assert list((tmp_path / "cache").glob("*/*.tmp")) == []
+
+
+def test_cross_process_cache_hits(tmp_path):
+    """A value published by one process is a disk hit in another store."""
+    disk_dir = str(tmp_path / "cache")
+    writer = ArtifactStore(disk_dir=disk_dir)
+    key = KEYS[0]
+    writer.put(key, ("payload", 42))
+    reader = ArtifactStore(disk_dir=disk_dir)  # simulates a sibling process
+    value, hit = reader.get(key)
+    assert hit and value == ("payload", 42)
+
+
+def test_stale_tmp_from_crashed_writer_is_inert_and_swept(tmp_path):
+    disk_dir = tmp_path / "cache"
+    store = ArtifactStore(disk_dir=disk_dir)
+    key = KEYS[0]
+    store.put(key, "good")
+    # A writer that died mid-write leaves a uniquely-named temp behind.
+    pass_dir = disk_dir / "parse"
+    stale = pass_dir / "deadbeef.pkl.99999.0.tmp"
+    stale.write_bytes(b"torn garbage")
+    # Reads never look at temps.
+    fresh = ArtifactStore(disk_dir=disk_dir)
+    value, hit = fresh.get(key)
+    assert hit and value == "good"
+    # invalidate_pass sweeps the stale temp alongside the real entries.
+    fresh.invalidate_pass("parse")
+    assert not stale.exists()
+    assert list(pass_dir.glob("*.pkl")) == []
+
+
+def test_clear_sweeps_temps_everywhere(tmp_path):
+    disk_dir = tmp_path / "cache"
+    store = ArtifactStore(disk_dir=disk_dir)
+    for key in KEYS:
+        store.put(key, "v")
+    stale = disk_dir / "parse" / "cafe.pkl.1.2.tmp"
+    stale.write_bytes(b"x")
+    store.clear()
+    assert not stale.exists()
+    assert list(disk_dir.glob("*/*.pkl")) == []
+
+
+def test_unpicklable_artifact_degrades_to_memory_only(tmp_path):
+    store = ArtifactStore(disk_dir=tmp_path / "cache")
+    key = KEYS[1]
+    store.put(key, lambda: None)  # pickling a local lambda fails
+    value, hit = store.get(key)
+    assert hit and callable(value)  # memory layer still serves it
+    # The failed disk write left no temp droppings behind.
+    assert list((tmp_path / "cache").glob("**/*.tmp")) == []
